@@ -1,0 +1,112 @@
+// Micro-benchmarks (google-benchmark) for the engine's building blocks:
+// the hot-path costs that the experiment benches aggregate.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "common/spinlock.hpp"
+#include "common/zipf.hpp"
+#include "core/planner.hpp"
+#include "storage/database.hpp"
+#include "txn/txn_context.hpp"
+#include "workload/ycsb.hpp"
+
+namespace {
+
+using namespace quecc;
+
+void BM_RngNext(benchmark::State& state) {
+  common::rng r(1);
+  for (auto _ : state) benchmark::DoNotOptimize(r.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZipfNext(benchmark::State& state) {
+  common::rng r(1);
+  common::zipf_generator z(1 << 20, state.range(0) / 100.0);
+  for (auto _ : state) benchmark::DoNotOptimize(z.next(r));
+}
+BENCHMARK(BM_ZipfNext)->Arg(0)->Arg(60)->Arg(99);
+
+void BM_SpinlockUncontended(benchmark::State& state) {
+  common::spinlock lock;
+  for (auto _ : state) {
+    lock.lock();
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_SpinlockUncontended);
+
+void BM_HashIndexLookup(benchmark::State& state) {
+  storage::hash_index idx(1 << 16);
+  for (quecc::key_t k = 0; k < (1 << 16); ++k) idx.insert(k, k);
+  common::rng r(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.lookup(r.next_below(1 << 16)));
+  }
+}
+BENCHMARK(BM_HashIndexLookup);
+
+void BM_TableRowAccess(benchmark::State& state) {
+  storage::database db;
+  auto& t = db.create_table(
+      "t", storage::schema({{"A", storage::col_type::u64, 8}}), 1 << 16);
+  std::vector<std::byte> p(8);
+  for (quecc::key_t k = 0; k < (1 << 16); ++k) t.insert(k, p);
+  common::rng r(1);
+  for (auto _ : state) {
+    const auto rid = t.lookup(r.next_below(1 << 16));
+    benchmark::DoNotOptimize(storage::read_u64(t.row(rid), 0));
+  }
+}
+BENCHMARK(BM_TableRowAccess);
+
+void BM_SlotProduceConsume(benchmark::State& state) {
+  txn::txn_desc t;
+  t.resize_slots(16);
+  std::uint16_t s = 0;
+  for (auto _ : state) {
+    t.produce(s, 42);
+    benchmark::DoNotOptimize(t.inputs_ready(1ull << s));
+    s = (s + 1) % 16;
+  }
+}
+BENCHMARK(BM_SlotProduceConsume);
+
+void BM_PlanningPhase(benchmark::State& state) {
+  wl::ycsb_config wcfg;
+  wcfg.table_size = 1 << 16;
+  wcfg.partitions = 8;
+  auto w = wl::ycsb(wcfg);
+  storage::database db;
+  w.load(db);
+
+  common::config cfg;
+  cfg.planner_threads = 1;
+  cfg.executor_threads = 4;
+  cfg.partitions = 8;
+  core::planner pl(0, cfg, db);
+  core::plan_output out;
+
+  common::rng r(1);
+  auto b = w.make_batch(r, static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    pl.plan(b, out);
+    benchmark::DoNotOptimize(out.planned_frags);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PlanningPhase)->Arg(256)->Arg(2048);
+
+void BM_StateHash(benchmark::State& state) {
+  wl::ycsb_config wcfg;
+  wcfg.table_size = 1 << 14;
+  auto w = wl::ycsb(wcfg);
+  storage::database db;
+  w.load(db);
+  for (auto _ : state) benchmark::DoNotOptimize(db.state_hash());
+}
+BENCHMARK(BM_StateHash);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Experiment A4 — pipeline scaling: batch size and planner/executor
+// geometry. Batching is the paradigm's fundamental unit (Section 3.2);
+// this bench shows the throughput/latency trade-off it buys and how the
+// two phases scale with thread counts (within this machine's core budget —
+// see EXPERIMENTS.md for the caveat).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "workload/ycsb.hpp"
+
+int main() {
+  using namespace quecc;
+  const bool quick = std::getenv("QUECC_BENCH_QUICK") != nullptr;
+
+  std::printf("== Scaling: batch size and P/E geometry ==\n\n");
+
+  auto make = []() -> std::unique_ptr<wl::workload> {
+    wl::ycsb_config w;
+    w.table_size = 1 << 16;
+    w.partitions = 8;
+    w.zipf_theta = 0.5;
+    w.read_ratio = 0.5;
+    return std::make_unique<wl::ycsb>(w);
+  };
+
+  {
+    harness::table_printer table(
+        {"batch size", "throughput", "p50 latency", "p99 latency"});
+    for (const std::uint32_t bs : {256u, 1024u, 4096u, 16384u}) {
+      common::config cfg;
+      cfg.planner_threads = 2;
+      cfg.executor_threads = 2;
+      cfg.partitions = 8;
+      const std::uint32_t batches = quick ? 2 : (1u << 16) / bs + 2;
+      const auto m = benchutil::run_engine("quecc", cfg, make, 42,
+                                           {batches, bs});
+      char p50[32], p99[32];
+      std::snprintf(p50, sizeof p50, "%.1fms",
+                    m.txn_latency.percentile_nanos(50) / 1e6);
+      std::snprintf(p99, sizeof p99, "%.1fms",
+                    m.txn_latency.percentile_nanos(99) / 1e6);
+      table.row({std::to_string(bs), harness::format_rate(m.throughput()),
+                 p50, p99});
+    }
+    std::printf("-- batch size (P=2, E=2): throughput vs latency --\n");
+    table.print();
+  }
+
+  {
+    harness::table_printer table({"P x E", "throughput"});
+    for (const auto& [p, e] : {std::pair<int, int>{1, 1},
+                               {1, 2},
+                               {2, 1},
+                               {2, 2},
+                               {4, 4}}) {
+      common::config cfg;
+      cfg.planner_threads = static_cast<worker_id_t>(p);
+      cfg.executor_threads = static_cast<worker_id_t>(e);
+      cfg.partitions = 8;
+      const auto m = benchutil::run_engine("quecc", cfg, make, 42,
+                                           benchutil::scaled(4, 4096));
+      char label[32];
+      std::snprintf(label, sizeof label, "%dx%d", p, e);
+      table.row({label, harness::format_rate(m.throughput())});
+    }
+    std::printf("\n-- planner/executor geometry (batch=4096) --\n");
+    table.print();
+  }
+
+  std::printf(
+      "\nbigger batches amortize the per-batch barriers (throughput up,\n"
+      "latency up); thread scaling is bounded by this host's cores.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench binary reproduces one row/figure from the paper (see the
+// experiment index in DESIGN.md) by running engines over identical
+// transaction streams and printing a paper-style result table. Set
+// QUECC_BENCH_QUICK=1 to shrink workloads for smoke runs.
+#pragma once
+
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "protocols/iface.hpp"
+#include "workload/workload.hpp"
+
+namespace quecc::benchutil {
+
+struct scale {
+  std::uint32_t batches;
+  std::uint32_t batch_size;
+};
+
+inline scale scaled(std::uint32_t batches, std::uint32_t batch_size) {
+  if (std::getenv("QUECC_BENCH_QUICK") != nullptr) {
+    return {2, std::min<std::uint32_t>(batch_size, 256)};
+  }
+  return {batches, batch_size};
+}
+
+/// Run `engine_name` over a fresh database + workload instance (so every
+/// engine sees an identical, independent transaction stream) and return
+/// aggregated metrics.
+inline common::run_metrics run_engine(
+    const std::string& engine_name, const common::config& cfg,
+    const std::function<std::unique_ptr<wl::workload>()>& make_workload,
+    std::uint64_t seed, scale s) {
+  auto w = make_workload();
+  storage::database db;
+  w->load(db);
+  auto eng = proto::make_engine(engine_name, db, cfg);
+  common::rng r(seed);
+  return harness::run_workload(*eng, *w, db, r, s.batches, s.batch_size)
+      .metrics;
+}
+
+}  // namespace quecc::benchutil

@@ -1,0 +1,69 @@
+// bank_audit: money-transfer workload with real (insufficient-funds)
+// aborts, demonstrating the two queue execution mechanisms of the paper:
+//
+//   * speculative  — updates apply eagerly; an abort triggers cascading
+//     rollback + deterministic re-execution (watch the recovery stats),
+//   * conservative — updates wait for the balance check; no cascades ever.
+//
+// Either way, the audit at the end must balance to the cent — the engine
+// is serializable and deterministic under both mechanisms.
+//
+// Build & run:  ./build/examples/bank_audit
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "workload/bank.hpp"
+
+using namespace quecc;
+
+namespace {
+
+void run(common::exec_model model) {
+  wl::bank_config wcfg;
+  wcfg.accounts = 10000;
+  wcfg.initial_balance = 1000;
+  wcfg.max_transfer = 1400;  // often exceeds the balance => real aborts
+  wl::bank workload(wcfg);
+
+  storage::database db;
+  workload.load(db);
+  const auto total_before = workload.total_balance(db);
+
+  common::config cfg;
+  cfg.planner_threads = 2;
+  cfg.executor_threads = 2;
+  cfg.execution = model;
+  core::quecc_engine engine(db, cfg);
+
+  common::rng r(2026);
+  common::run_metrics m;
+  std::uint32_t cascades = 0;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    auto b = workload.make_batch(r, 4096, i);
+    engine.run_batch(b, m);
+    cascades += engine.last_recovery().cascades;
+  }
+
+  const auto total_after = workload.total_balance(db);
+  std::printf(
+      "%-13s: %8.0f txn/s, committed=%llu, insufficient-funds aborts=%llu,\n"
+      "               speculation cascades=%u, audit: %llu -> %llu %s\n",
+      common::to_string(model), m.throughput(),
+      static_cast<unsigned long long>(m.committed),
+      static_cast<unsigned long long>(m.aborted), cascades,
+      static_cast<unsigned long long>(total_before),
+      static_cast<unsigned long long>(total_after),
+      total_before == total_after ? "(balanced ✓)" : "(MISMATCH ✗)");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("bank audit: 10k accounts, 8 batches x 4096 transfers\n\n");
+  run(common::exec_model::speculative);
+  run(common::exec_model::conservative);
+  std::printf(
+      "\nspeculative pays for aborts with cascades + re-execution;\n"
+      "conservative pays with commit-dependency stalls. Both balance.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// dist_cluster: a four-node simulated cluster running distributed
+// transactions under the two deterministic distributed engines, showing
+// the paper's Section 2.2 point: commitment cost without 2PC.
+//
+//   dist-quecc  — ships fragment-queue bundles; messages per *batch*
+//   dist-calvin — sequencer epochs + per-transaction read/release rounds
+//
+// Build & run:  ./build/examples/dist_cluster
+#include <cstdio>
+
+#include "dist/dist_calvin.hpp"
+#include "dist/dist_quecc.hpp"
+#include "harness/report.hpp"
+#include "workload/ycsb.hpp"
+
+using namespace quecc;
+
+namespace {
+
+template <typename Engine>
+void run_one(const char* label, harness::table_printer& table,
+             std::uint32_t batches, std::uint32_t batch_size) {
+  wl::ycsb_config wcfg;
+  wcfg.table_size = 1 << 16;
+  wcfg.partitions = 8;
+  wcfg.multi_partition_ratio = 0.25;  // 25% distributed transactions
+  wcfg.mp_parts = 2;
+  wl::ycsb workload(wcfg);
+
+  storage::database db;
+  workload.load(db);
+
+  common::config cfg;
+  cfg.nodes = 4;
+  cfg.partitions = 8;
+  cfg.planner_threads = 1;   // per node
+  cfg.executor_threads = 1;  // per node
+  cfg.worker_threads = 2;    // per node
+  cfg.net_latency_micros = 50;
+
+  Engine engine(db, cfg);
+  common::rng r(99);
+  common::run_metrics m;
+  for (std::uint32_t i = 0; i < batches; ++i) {
+    auto b = workload.make_batch(r, batch_size, i);
+    engine.run_batch(b, m);
+  }
+
+  char msgs_per_txn[32];
+  std::snprintf(msgs_per_txn, sizeof msgs_per_txn, "%.3f",
+                static_cast<double>(m.messages) /
+                    static_cast<double>(m.committed));
+  table.row({label, harness::format_rate(m.throughput()),
+             std::to_string(m.messages), msgs_per_txn});
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint32_t kBatches = 4;
+  constexpr std::uint32_t kBatchSize = 2048;
+
+  std::printf(
+      "simulated cluster: 4 nodes, 50us one-way latency, 25%% distributed\n"
+      "transactions, %u batches x %u txns\n\n",
+      kBatches, kBatchSize);
+
+  harness::table_printer table(
+      {"engine", "throughput", "messages", "msgs/txn"});
+  run_one<dist::dist_quecc_engine>("dist-quecc", table, kBatches, kBatchSize);
+  run_one<dist::dist_calvin_engine>("dist-calvin", table, kBatches,
+                                    kBatchSize);
+  table.print();
+
+  std::printf(
+      "\nneither engine runs 2PC. dist-quecc's message bill is constant per\n"
+      "batch (plan bundles + one commit round); dist-calvin pays the\n"
+      "sequencer epoch plus two messages per distributed transaction —\n"
+      "compare the msgs/txn column.\n");
+  return 0;
+}

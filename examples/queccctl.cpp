@@ -1,0 +1,162 @@
+// queccctl: command-line driver for ad-hoc experiments.
+//
+//   queccctl [--engine NAME] [--workload ycsb|tpcc|bank] [--batches N]
+//            [--batch-size N] [--planners N] [--executors N] [--workers N]
+//            [--partitions N] [--nodes N] [--theta F] [--read-ratio F]
+//            [--mp-ratio F] [--warehouses N] [--exec spec|cons]
+//            [--iso ser|rc] [--seed N] [--latency-us N] [--list]
+//
+// Examples:
+//   queccctl --engine quecc --workload tpcc --warehouses 1
+//   queccctl --engine dist-quecc --nodes 4 --mp-ratio 0.2
+//   queccctl --list
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/runner.hpp"
+#include "protocols/iface.hpp"
+#include "workload/bank.hpp"
+#include "workload/tpcc.hpp"
+#include "workload/ycsb.hpp"
+
+using namespace quecc;
+
+namespace {
+
+struct options {
+  std::string engine = "quecc";
+  std::string workload = "ycsb";
+  std::uint32_t batches = 4;
+  std::uint32_t batch_size = 2048;
+  common::config cfg;
+  double theta = 0.5;
+  double read_ratio = 0.5;
+  double mp_ratio = 0.0;
+  std::uint32_t warehouses = 1;
+  std::uint64_t seed = 42;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--engine NAME] [--workload ycsb|tpcc|bank] ...\n"
+               "run '%s --list' for engine names; see file header for all "
+               "flags.\n",
+               argv0, argv0);
+  std::exit(2);
+}
+
+bool parse(options& o, int argc, char** argv) {
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--list") {
+      for (const auto& n : proto::engine_names()) std::printf("%s\n", n.c_str());
+      return false;
+    } else if (a == "--engine") {
+      o.engine = need(i);
+    } else if (a == "--workload") {
+      o.workload = need(i);
+    } else if (a == "--batches") {
+      o.batches = static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (a == "--batch-size") {
+      o.batch_size = static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (a == "--planners") {
+      o.cfg.planner_threads = static_cast<worker_id_t>(std::atoi(need(i)));
+    } else if (a == "--executors") {
+      o.cfg.executor_threads = static_cast<worker_id_t>(std::atoi(need(i)));
+    } else if (a == "--workers") {
+      o.cfg.worker_threads = static_cast<worker_id_t>(std::atoi(need(i)));
+    } else if (a == "--partitions") {
+      o.cfg.partitions = static_cast<part_id_t>(std::atoi(need(i)));
+    } else if (a == "--nodes") {
+      o.cfg.nodes = static_cast<std::uint16_t>(std::atoi(need(i)));
+    } else if (a == "--latency-us") {
+      o.cfg.net_latency_micros =
+          static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (a == "--theta") {
+      o.theta = std::atof(need(i));
+    } else if (a == "--read-ratio") {
+      o.read_ratio = std::atof(need(i));
+    } else if (a == "--mp-ratio") {
+      o.mp_ratio = std::atof(need(i));
+    } else if (a == "--warehouses") {
+      o.warehouses = static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (a == "--seed") {
+      o.seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (a == "--exec") {
+      const std::string v = need(i);
+      o.cfg.execution = v == "cons" ? common::exec_model::conservative
+                                    : common::exec_model::speculative;
+    } else if (a == "--iso") {
+      const std::string v = need(i);
+      o.cfg.iso = v == "rc" ? common::isolation::read_committed
+                            : common::isolation::serializable;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<wl::workload> make_workload(const options& o) {
+  if (o.workload == "ycsb") {
+    wl::ycsb_config w;
+    w.table_size = 1 << 16;
+    w.partitions = o.cfg.partitions;
+    w.zipf_theta = o.theta;
+    w.read_ratio = o.read_ratio;
+    w.multi_partition_ratio = o.mp_ratio;
+    return std::make_unique<wl::ycsb>(w);
+  }
+  if (o.workload == "tpcc") {
+    wl::tpcc_config w;
+    w.warehouses = o.warehouses;
+    w.partitions = o.cfg.partitions;
+    w.order_headroom_per_district =
+        o.batches * o.batch_size / 10 + 2000;
+    return std::make_unique<wl::tpcc>(w);
+  }
+  if (o.workload == "bank") {
+    wl::bank_config w;
+    w.partitions = o.cfg.partitions;
+    return std::make_unique<wl::bank>(w);
+  }
+  std::fprintf(stderr, "unknown workload: %s\n", o.workload.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  options o;
+  if (!parse(o, argc, argv)) return 0;
+
+  auto w = make_workload(o);
+  storage::database db;
+  w->load(db);
+
+  std::unique_ptr<proto::engine> eng;
+  try {
+    eng = proto::make_engine(o.engine, db, o.cfg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  std::printf("engine=%s workload=%s batches=%u batch=%u %s\n", o.engine.c_str(),
+              o.workload.c_str(), o.batches, o.batch_size,
+              o.cfg.describe().c_str());
+
+  common::rng r(o.seed);
+  const auto res =
+      harness::run_workload(*eng, *w, db, r, o.batches, o.batch_size);
+  std::puts(res.metrics.summary(o.engine).c_str());
+  std::printf("state hash: %016llx\n",
+              static_cast<unsigned long long>(res.final_state_hash));
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Quickstart: build your own transactional application on the
+// queue-oriented engine in ~100 lines.
+//
+// We model a tiny ticket-sales system: one SEATS table; a "reserve"
+// transaction checks capacity (abortable fragment), decrements seats
+// (update fragment), and records the sale price into a result slot the
+// client can read back. Everything a workload needs is shown here:
+//   1. define a schema and load a table,
+//   2. write fragment logic (one function, dispatched by fragment.logic),
+//   3. compile transactions into fragments with dependencies,
+//   4. run batches through the engine and inspect results.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "storage/database.hpp"
+#include "txn/procedure.hpp"
+
+using namespace quecc;
+
+namespace {
+
+// Fragment logic selectors for our procedure.
+enum logic : std::uint16_t { check_capacity = 0, reserve_seats = 1 };
+
+// One function implements every fragment of the procedure. It must be
+// deterministic: outputs depend only on args, ready slots, and row data.
+txn::frag_status run_fragment(const txn::fragment& f, txn::txn_desc& t,
+                              txn::frag_host& h) {
+  switch (f.logic) {
+    case check_capacity: {  // abortable read: enough seats left?
+      const auto row = h.read_row(f, t);
+      if (row.empty()) return txn::frag_status::abort;  // unknown event
+      const auto available = storage::read_u64(row, 0);
+      return available < f.aux ? txn::frag_status::abort
+                               : txn::frag_status::ok;
+    }
+    case reserve_seats: {  // update: take the seats, report the price
+      auto row = h.update_row(f, t);
+      if (row.empty()) return txn::frag_status::ok;
+      const auto left = storage::read_u64(row, 0) - f.aux;
+      storage::write_u64(row, 0, left);
+      const auto price = storage::read_u64(row, 8);
+      t.produce(0, price * f.aux);  // slot 0: total charged
+      return txn::frag_status::ok;
+    }
+  }
+  return txn::frag_status::ok;
+}
+
+// Compile a "reserve `count` seats for `event`" transaction into fragments.
+std::unique_ptr<txn::txn_desc> make_reserve(const txn::procedure& proc,
+                                            quecc::key_t event,
+                                            std::uint64_t count) {
+  auto t = std::make_unique<txn::txn_desc>();
+  t->proc = &proc;
+
+  txn::fragment check;
+  check.table = 0;
+  check.key = event;
+  check.part = static_cast<part_id_t>(event % 4);
+  check.kind = txn::op_kind::read;
+  check.abortable = true;  // may deterministically abort the txn
+  check.logic = check_capacity;
+  check.aux = count;
+  check.idx = 0;
+  t->frags.push_back(check);
+
+  txn::fragment reserve = check;
+  reserve.kind = txn::op_kind::update;
+  reserve.abortable = false;
+  reserve.logic = reserve_seats;
+  reserve.idx = 1;
+  t->frags.push_back(reserve);
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  // 1. Storage: one SEATS table (available seats, unit price).
+  storage::database db;
+  auto& seats = db.create_table(
+      "seats",
+      storage::schema({{"AVAILABLE", storage::col_type::u64, 8},
+                       {"PRICE", storage::col_type::u64, 8}}),
+      /*capacity=*/64);
+  std::vector<std::byte> row(16);
+  for (quecc::key_t event = 0; event < 8; ++event) {
+    std::span<std::byte> s(row);
+    storage::write_u64(s, 0, 10);              // 10 seats per event
+    storage::write_u64(s, 8, 25 + event * 5);  // price per seat
+    seats.insert(event, row);
+  }
+
+  // 2. The stored procedure: fragment logic + number of value slots.
+  txn::procedure reserve_proc("reserve", &run_fragment, /*slots=*/1);
+
+  // 3. A batch of reservation requests (some will abort: only 10 seats).
+  txn::batch batch;
+  for (int i = 0; i < 20; ++i) {
+    batch.add(make_reserve(reserve_proc, /*event=*/i % 4,
+                           /*count=*/1 + i % 4));
+  }
+  batch.validate();
+
+  // 4. Run it through the queue-oriented engine: 2 planners, 2 executors,
+  //    speculative execution, serializable isolation.
+  common::config cfg;
+  cfg.planner_threads = 2;
+  cfg.executor_threads = 2;
+  core::quecc_engine engine(db, cfg);
+
+  common::run_metrics metrics;
+  engine.run_batch(batch, metrics);
+
+  // 5. Inspect per-transaction outcomes.
+  std::printf("committed=%llu aborted=%llu (sold out)\n\n",
+              static_cast<unsigned long long>(metrics.committed),
+              static_cast<unsigned long long>(metrics.aborted));
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto& t = batch.at(i);
+    if (t.aborted()) {
+      std::printf("txn %2zu: ABORTED (not enough seats)\n", i);
+    } else {
+      std::printf("txn %2zu: committed, charged %llu\n", i,
+                  static_cast<unsigned long long>(t.slot_value(0)));
+    }
+  }
+
+  std::printf("\nremaining seats per event:\n");
+  for (quecc::key_t event = 0; event < 8; ++event) {
+    const auto rid = seats.lookup(event);
+    std::printf("  event %llu: %llu\n",
+                static_cast<unsigned long long>(event),
+                static_cast<unsigned long long>(
+                    storage::read_u64(seats.row(rid), 0)));
+  }
+  return 0;
+}

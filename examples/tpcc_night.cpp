@@ -1,0 +1,63 @@
+// tpcc_night: a "night shift" of TPC-C traffic — the five transaction
+// profiles over the full nine-table schema — processed by several engines
+// in the test-bed, finishing with TPC-C's consistency audit.
+//
+// Build & run:  ./build/examples/tpcc_night
+#include <cstdio>
+
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "protocols/iface.hpp"
+#include "workload/tpcc.hpp"
+
+using namespace quecc;
+
+int main() {
+  constexpr std::uint32_t kBatches = 4;
+  constexpr std::uint32_t kBatchSize = 1024;
+
+  std::printf(
+      "TPC-C night shift: 2 warehouses, %u batches x %u txns\n"
+      "mix: 45%% NewOrder, 43%% Payment, 4%% OrderStatus, 4%% Delivery, "
+      "4%% StockLevel\n\n",
+      kBatches, kBatchSize);
+
+  harness::table_printer table({"engine", "throughput", "user aborts",
+                                "cc retries", "consistency"});
+
+  for (const char* name : {"quecc", "silo", "2pl-nowait", "calvin"}) {
+    wl::tpcc_config wcfg;
+    wcfg.warehouses = 2;
+    wcfg.partitions = 4;
+    wcfg.initial_orders_per_district = 100;
+    wcfg.order_headroom_per_district = 1000;
+    wl::tpcc workload(wcfg);
+
+    storage::database db;
+    workload.load(db);
+
+    common::config cfg;
+    cfg.planner_threads = 2;
+    cfg.executor_threads = 2;
+    cfg.worker_threads = 4;
+    cfg.partitions = 4;
+
+    auto engine = proto::make_engine(name, db, cfg);
+    common::rng r(2026);
+    const auto result =
+        harness::run_workload(*engine, workload, db, r, kBatches, kBatchSize);
+
+    std::string why;
+    const bool ok = workload.check_consistency(db, &why);
+    table.row({name, harness::format_rate(result.metrics.throughput()),
+               std::to_string(result.metrics.aborted),
+               std::to_string(result.metrics.cc_aborts),
+               ok ? "PASS" : "FAIL: " + why});
+  }
+  table.print();
+  std::printf(
+      "\nuser aborts are TPC-C's 1%% invalid-item NewOrders — they abort\n"
+      "deterministically under every engine; cc retries exist only for the\n"
+      "classical protocols.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// ycsb_tour: one workload, every knob — a guided tour of the paradigm's
+// configuration space on YCSB (paper Section 3's "seamlessly admits
+// various configurations"): execution model x isolation level x contention.
+//
+// Build & run:  ./build/examples/ycsb_tour
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "workload/ycsb.hpp"
+
+using namespace quecc;
+
+int main() {
+  std::printf(
+      "YCSB tour: 64K rows, 10 ops/txn, 4 batches x 2048 txns each cell\n\n");
+
+  harness::table_printer table({"contention", "exec model", "isolation",
+                                "throughput", "cascades"});
+
+  for (const double theta : {0.0, 0.9}) {
+    for (const auto model :
+         {common::exec_model::speculative, common::exec_model::conservative}) {
+      for (const auto iso : {common::isolation::serializable,
+                             common::isolation::read_committed}) {
+        wl::ycsb_config wcfg;
+        wcfg.table_size = 1 << 16;
+        wcfg.partitions = 4;
+        wcfg.zipf_theta = theta;
+        wcfg.read_ratio = 0.7;
+        wcfg.abort_ratio = 0.02;
+        wl::ycsb workload(wcfg);
+
+        storage::database db;
+        workload.load(db);
+
+        common::config cfg;
+        cfg.planner_threads = 2;
+        cfg.executor_threads = 2;
+        cfg.execution = model;
+        cfg.iso = iso;
+        core::quecc_engine engine(db, cfg);
+
+        common::rng r(7);
+        common::run_metrics m;
+        std::uint32_t cascades = 0;
+        for (std::uint32_t i = 0; i < 4; ++i) {
+          auto b = workload.make_batch(r, 2048, i);
+          engine.run_batch(b, m);
+          cascades += engine.last_recovery().cascades;
+        }
+
+        table.row({theta == 0.0 ? "uniform" : "zipf 0.9",
+                   common::to_string(model), common::to_string(iso),
+                   harness::format_rate(m.throughput()),
+                   std::to_string(cascades)});
+      }
+    }
+  }
+  table.print();
+  std::printf(
+      "\nthings to notice: cascades appear only under speculative\n"
+      "execution; read-committed helps most when contention is high and\n"
+      "reads dominate; every cell is serializable-or-better and fully\n"
+      "deterministic.\n");
+  return 0;
+}

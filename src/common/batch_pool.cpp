@@ -1,0 +1,44 @@
+#include "common/batch_pool.hpp"
+
+#include "common/thread_util.hpp"
+
+namespace quecc::common {
+
+batch_pool::batch_pool(unsigned workers, job_fn job, const std::string& name,
+                       bool pin)
+    : workers_(workers),
+      job_(std::move(job)),
+      sync_(static_cast<std::ptrdiff_t>(workers) + 1) {
+  threads_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    threads_.emplace_back([this, w, name, pin] { worker_main(w, name, pin); });
+  }
+}
+
+batch_pool::~batch_pool() {
+  stop_.store(true, std::memory_order_release);
+  sync_.arrive_and_wait();  // wake workers into the stop check
+  for (auto& t : threads_) t.join();
+}
+
+void batch_pool::worker_main(unsigned w, const std::string& name, bool pin) {
+  name_self(name + "-" + std::to_string(w));
+  if (pin) pin_self_to(w);
+  while (true) {
+    sync_.arrive_and_wait();  // round start
+    if (stop_.load(std::memory_order_acquire)) return;
+    job_(w);
+    sync_.arrive_and_wait();  // round end
+  }
+}
+
+void batch_pool::run_round() {
+  begin_round();
+  end_round();
+}
+
+void batch_pool::begin_round() { sync_.arrive_and_wait(); }
+
+void batch_pool::end_round() { sync_.arrive_and_wait(); }
+
+}  // namespace quecc::common

@@ -1,0 +1,52 @@
+// Persistent worker pool with batch-synchronous rounds.
+//
+// Engines keep one pool for their lifetime (CP.41: minimize thread
+// creation/destruction) and trigger a "round" per batch: every worker runs
+// the engine-supplied job once, then the pool quiesces. Barriers provide
+// the happens-before edges between the coordinator's batch setup, the
+// workers' execution, and the coordinator's epilogue.
+#pragma once
+
+#include <barrier>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace quecc::common {
+
+class batch_pool {
+ public:
+  using job_fn = std::function<void(unsigned worker)>;
+
+  /// Spawns `workers` threads running `job` once per round. `name` prefixes
+  /// thread names; `pin` requests best-effort CPU affinity.
+  batch_pool(unsigned workers, job_fn job, const std::string& name,
+             bool pin = false);
+  ~batch_pool();
+
+  batch_pool(const batch_pool&) = delete;
+  batch_pool& operator=(const batch_pool&) = delete;
+
+  /// Run one round: blocks until every worker finished the job.
+  void run_round();
+
+  /// Split-phase round, for engines whose coordinator works concurrently
+  /// with the workers (e.g. Calvin's lock scheduler): begin_round()
+  /// releases the workers and returns immediately; end_round() blocks
+  /// until they finish.
+  void begin_round();
+  void end_round();
+
+  unsigned size() const noexcept { return workers_; }
+
+ private:
+  void worker_main(unsigned w, const std::string& name, bool pin);
+
+  unsigned workers_;
+  job_fn job_;
+  std::atomic<bool> stop_{false};
+  std::barrier<> sync_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace quecc::common

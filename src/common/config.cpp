@@ -1,0 +1,49 @@
+#include "common/config.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace quecc::common {
+
+const char* to_string(exec_model m) noexcept {
+  switch (m) {
+    case exec_model::speculative:
+      return "speculative";
+    case exec_model::conservative:
+      return "conservative";
+  }
+  return "?";
+}
+
+const char* to_string(isolation i) noexcept {
+  switch (i) {
+    case isolation::serializable:
+      return "serializable";
+    case isolation::read_committed:
+      return "read-committed";
+  }
+  return "?";
+}
+
+std::string config::describe() const {
+  std::ostringstream os;
+  os << "P=" << planner_threads << " E=" << executor_threads
+     << " batch=" << batch_size << " parts=" << partitions << " "
+     << to_string(execution) << "/" << to_string(iso);
+  if (nodes > 1) os << " nodes=" << nodes << " lat=" << net_latency_micros << "us";
+  return os.str();
+}
+
+void config::validate() const {
+  if (planner_threads == 0) throw std::invalid_argument("planner_threads == 0");
+  if (executor_threads == 0)
+    throw std::invalid_argument("executor_threads == 0");
+  if (worker_threads == 0) throw std::invalid_argument("worker_threads == 0");
+  if (batch_size == 0) throw std::invalid_argument("batch_size == 0");
+  if (partitions == 0) throw std::invalid_argument("partitions == 0");
+  if (nodes == 0) throw std::invalid_argument("nodes == 0");
+  if (nodes > partitions)
+    throw std::invalid_argument("nodes must not exceed partitions");
+}
+
+}  // namespace quecc::common

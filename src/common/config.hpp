@@ -1,0 +1,74 @@
+// Engine configuration knobs.
+//
+// One struct covers every engine in the repository so the harness can run
+// apples-to-apples sweeps; individual engines read only the fields they
+// understand. Section 3 of the paper calls out the configurations the
+// paradigm must "seamlessly admit": speculative vs conservative execution
+// and serializable vs read-committed isolation — those are first-class
+// enums here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace quecc::common {
+
+/// Queue execution mechanism (paper Section 3.2, "Queue Execution
+/// Mechanisms").
+enum class exec_model : std::uint8_t {
+  speculative,   ///< apply writes eagerly; cascading abort + re-execution
+  conservative,  ///< updates wait for the txn's abortable fragments
+};
+
+/// Isolation level (paper Section 3.2, "Isolation Levels").
+enum class isolation : std::uint8_t {
+  serializable,
+  read_committed,  ///< reads run against committed versions in extra queues
+};
+
+const char* to_string(exec_model m) noexcept;
+const char* to_string(isolation i) noexcept;
+
+/// Shared configuration for every engine, centralized and distributed.
+struct config {
+  // --- threading ---------------------------------------------------------
+  worker_id_t planner_threads = 2;   ///< queue-oriented planning phase width
+  worker_id_t executor_threads = 2;  ///< queue-oriented execution phase width
+  worker_id_t worker_threads = 4;    ///< thread pool size for baselines
+  bool pin_threads = false;          ///< best-effort CPU affinity
+
+  // --- batching ----------------------------------------------------------
+  std::uint32_t batch_size = 1024;  ///< txns per deterministic batch
+
+  // --- paradigm options --------------------------------------------------
+  exec_model execution = exec_model::speculative;
+  isolation iso = isolation::serializable;
+
+  // --- storage -----------------------------------------------------------
+  part_id_t partitions = 4;  ///< home-partition count (queue routing unit)
+
+  // --- distributed simulation --------------------------------------------
+  std::uint16_t nodes = 1;                ///< simulated node count
+  std::uint32_t net_latency_micros = 50;  ///< one-way message latency
+  std::uint32_t seq_epoch_micros = 200;   ///< Calvin sequencer epoch length
+
+  // --- baseline-specific knobs --------------------------------------------
+  /// H-Store: coordination cost charged per multi-partition transaction
+  /// while the partitions are held (models the blocking 2PC voting rounds
+  /// of the original system; ~2 IPC round trips).
+  std::uint32_t hstore_coord_micros = 25;
+
+  // --- misc ----------------------------------------------------------------
+  std::uint64_t seed = 0x5eedu;  ///< workload / property-test seed
+
+  /// Human-readable one-liner for logs and bench labels.
+  std::string describe() const;
+
+  /// Throws std::invalid_argument when fields are inconsistent (e.g. zero
+  /// threads, zero partitions, nodes > partitions).
+  void validate() const;
+};
+
+}  // namespace quecc::common

@@ -1,0 +1,73 @@
+// Tiny synchronization primitives used on the engine's hot paths.
+//
+// The paradigm's point is to need almost no synchronization, so the only
+// locks in the core engine guard cold paths (batch hand-off, stats). The
+// baseline protocols (2PL, Silo, ...) use `spinlock` as their per-record
+// latch, which matches how the original DBx1000/ExpoDB test-beds work.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace quecc::common {
+
+/// CPU-friendly busy-wait hint.
+inline void cpu_pause() noexcept {
+#if defined(__x86_64__)
+  _mm_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Exponential-backoff helper for spin loops. Starts with pause
+/// instructions and escalates to yielding the CPU, which matters on the
+/// small machines CI runs on (fewer hardware threads than workers).
+class backoff {
+ public:
+  void spin() noexcept {
+    if (count_ < kPauseLimit) {
+      for (std::uint32_t i = 0; i < (1u << count_); ++i) cpu_pause();
+      ++count_;
+    } else {
+      yield_now();
+    }
+  }
+
+  void reset() noexcept { count_ = 0; }
+
+ private:
+  static void yield_now() noexcept;
+  static constexpr std::uint32_t kPauseLimit = 6;
+  std::uint32_t count_ = 0;
+};
+
+/// Test-and-test-and-set spinlock with backoff. Satisfies the C++ Lockable
+/// requirements so it composes with std::scoped_lock (CP.20: RAII, never
+/// plain lock()/unlock()).
+class spinlock {
+ public:
+  void lock() noexcept {
+    backoff b;
+    while (true) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) b.spin();
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace quecc::common

@@ -1,0 +1,86 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace quecc::common {
+
+namespace {
+/// Bucket index: floor(log2(ns)), clamped to the table size.
+std::size_t bucket_of(std::uint64_t ns) noexcept {
+  if (ns == 0) return 0;
+  const auto b = static_cast<std::size_t>(63 - std::countl_zero(ns));
+  return std::min(b, latency_histogram::kBuckets - 1);
+}
+
+/// Geometric midpoint of bucket b = [2^b, 2^(b+1)).
+double bucket_mid(std::size_t b) noexcept {
+  return std::ldexp(1.5, static_cast<int>(b));
+}
+}  // namespace
+
+void latency_histogram::record_nanos(std::uint64_t ns) noexcept {
+  ++buckets_[bucket_of(ns)];
+  ++count_;
+  sum_ += ns;
+}
+
+void latency_histogram::merge(const latency_histogram& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void latency_histogram::reset() noexcept {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+}
+
+double latency_histogram::mean_nanos() const noexcept {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double latency_histogram::percentile_nanos(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  const double rank = q / 100.0 * static_cast<double>(count_ - 1);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) > rank) return bucket_mid(i);
+  }
+  return bucket_mid(kBuckets - 1);
+}
+
+std::string latency_histogram::summary() const {
+  std::ostringstream os;
+  os << "mean=" << mean_nanos() / 1e3 << "us p50="
+     << percentile_nanos(50) / 1e3 << "us p99=" << percentile_nanos(99) / 1e3
+     << "us";
+  return os.str();
+}
+
+void run_metrics::merge(const run_metrics& other) {
+  committed += other.committed;
+  aborted += other.aborted;
+  cc_aborts += other.cc_aborts;
+  batches += other.batches;
+  messages += other.messages;
+  elapsed_seconds = std::max(elapsed_seconds, other.elapsed_seconds);
+  txn_latency.merge(other.txn_latency);
+}
+
+std::string run_metrics::summary(const std::string& label) const {
+  std::ostringstream os;
+  os << label << ": " << static_cast<std::uint64_t>(throughput())
+     << " txn/s, committed=" << committed << ", user_aborts=" << aborted
+     << ", cc_aborts=" << cc_aborts << ", batches=" << batches;
+  if (messages > 0) os << ", msgs=" << messages;
+  os << ", latency{" << txn_latency.summary() << "}";
+  return os.str();
+}
+
+}  // namespace quecc::common

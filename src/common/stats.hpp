@@ -1,0 +1,85 @@
+// Metrics: counters, wall-clock timers, and latency histograms.
+//
+// The harness reports throughput (txns/s), abort counts, and latency
+// percentiles — the "key performance metrics" named in Section 4 of the
+// paper. Histograms use fixed log-scaled buckets so recording is wait-free
+// per thread; aggregation merges per-thread instances.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace quecc::common {
+
+/// Monotonic wall-clock stopwatch.
+class stopwatch {
+ public:
+  stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  /// Elapsed time in seconds.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed time in nanoseconds.
+  std::uint64_t nanos() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Log-bucketed latency histogram covering 1ns .. ~1100s.
+/// Recording is a single increment; not thread-safe by design — keep one
+/// per worker and merge() at the end (CP.3: minimize shared writable data).
+class latency_histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record_nanos(std::uint64_t ns) noexcept;
+  void merge(const latency_histogram& other) noexcept;
+  void reset() noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean_nanos() const noexcept;
+  /// Percentile in nanoseconds, q in [0, 100]. Returns bucket midpoints.
+  double percentile_nanos(double q) const noexcept;
+
+  std::string summary() const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+/// Per-run metrics emitted by engines and aggregated by the harness.
+struct run_metrics {
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;         ///< user/logic aborts (deterministic)
+  std::uint64_t cc_aborts = 0;       ///< protocol-induced aborts + retries
+  std::uint64_t batches = 0;
+  std::uint64_t messages = 0;        ///< simulated network messages
+  double elapsed_seconds = 0.0;
+  latency_histogram txn_latency;     ///< per-transaction commit latency
+
+  double throughput() const noexcept {
+    return elapsed_seconds > 0 ? static_cast<double>(committed) /
+                                     elapsed_seconds
+                               : 0.0;
+  }
+
+  void merge(const run_metrics& other);
+  std::string summary(const std::string& label) const;
+};
+
+}  // namespace quecc::common

@@ -1,0 +1,49 @@
+#include "common/thread_util.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/spinlock.hpp"
+
+namespace quecc::common {
+
+unsigned hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+bool pin_self_to(unsigned cpu) noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % hardware_threads(), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+void name_self(const std::string& name) noexcept {
+#if defined(__linux__)
+  // Linux limits thread names to 15 chars + NUL.
+  pthread_setname_np(pthread_self(), name.substr(0, 15).c_str());
+#else
+  (void)name;
+#endif
+}
+
+void yield_cpu() noexcept { std::this_thread::yield(); }
+
+void spin_for_micros(std::uint32_t micros) noexcept {
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::microseconds(micros);
+  while (std::chrono::steady_clock::now() < until) cpu_pause();
+}
+
+void backoff::yield_now() noexcept { yield_cpu(); }
+
+}  // namespace quecc::common

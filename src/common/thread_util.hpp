@@ -1,0 +1,34 @@
+// Thread affinity and naming helpers.
+//
+// Worker threads (planners, executors, protocol workers, simulated nodes)
+// are long-lived and created once per engine instance (CP.41: minimize
+// thread creation/destruction). Pinning is best-effort: on machines with
+// fewer cores than workers we simply oversubscribe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace quecc::common {
+
+/// Number of hardware threads, never less than 1.
+unsigned hardware_threads() noexcept;
+
+/// Best-effort pin of the calling thread to `cpu % hardware_threads()`.
+/// Returns false when the platform refuses (non-fatal; used for benches).
+bool pin_self_to(unsigned cpu) noexcept;
+
+/// Best-effort thread name (shows up in debuggers / perf).
+void name_self(const std::string& name) noexcept;
+
+/// Implementation detail of backoff::yield_now, kept out of the header so
+/// <thread> does not leak into every translation unit.
+void yield_cpu() noexcept;
+
+/// Busy-wait for `micros` microseconds. Used to charge simulated
+/// coordination costs (e.g. H-Store's 2PC round) without sleeping the
+/// thread — the point is to occupy the partition, exactly like the real
+/// blocking protocol would.
+void spin_for_micros(std::uint32_t micros) noexcept;
+
+}  // namespace quecc::common

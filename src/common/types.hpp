@@ -1,0 +1,50 @@
+// Fundamental value types shared across the whole engine.
+//
+// The repository models a deterministic, main-memory OLTP system, so keys,
+// transaction sequence numbers, and partition ids are plain integral types
+// chosen once here and used consistently everywhere.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace quecc {
+
+/// Primary-key type used by every table. Workloads that need composite keys
+/// (e.g. TPC-C district = (w_id, d_id)) encode them into 64 bits with
+/// documented packing helpers in the workload headers.
+using key_t = std::uint64_t;
+
+/// Position of a transaction inside a batch. Sequence order is the
+/// deterministic serial-equivalent order of the paradigm.
+using seq_t = std::uint32_t;
+
+/// Globally unique transaction identity: (batch id << 32) | seq.
+using txn_id_t = std::uint64_t;
+
+/// Index of a storage partition; partitions are the unit of queue routing.
+using part_id_t = std::uint16_t;
+
+/// Index of a table in the catalog.
+using table_id_t = std::uint16_t;
+
+/// Planner / executor thread indexes.
+using worker_id_t = std::uint16_t;
+
+inline constexpr key_t kInvalidKey = std::numeric_limits<key_t>::max();
+inline constexpr seq_t kInvalidSeq = std::numeric_limits<seq_t>::max();
+
+/// Make a global transaction id out of a batch id and an in-batch sequence.
+constexpr txn_id_t make_txn_id(std::uint32_t batch, seq_t seq) noexcept {
+  return (static_cast<txn_id_t>(batch) << 32) | seq;
+}
+
+constexpr std::uint32_t txn_id_batch(txn_id_t id) noexcept {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+
+constexpr seq_t txn_id_seq(txn_id_t id) noexcept {
+  return static_cast<seq_t>(id & 0xffffffffu);
+}
+
+}  // namespace quecc

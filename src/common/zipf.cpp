@@ -1,0 +1,40 @@
+#include "common/zipf.hpp"
+
+#include <cmath>
+
+namespace quecc::common {
+
+zipf_generator::zipf_generator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  // theta == 0 is handled by the same formulas (zeta(n, 0) == n), but we
+  // keep the uniform fast path in next() for clarity and speed.
+  zetan_ = zeta(n_, theta_);
+  const double zeta2 = zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+  half_pow_theta_ = 1.0 + std::pow(0.5, theta_);
+}
+
+double zipf_generator::zeta(std::uint64_t n, double theta) noexcept {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+std::uint64_t zipf_generator::next(rng& r) noexcept {
+  if (theta_ == 0.0) {
+    return r.next_below(n_);
+  }
+  const double u = r.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < half_pow_theta_) return 1;
+  const auto v = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+}  // namespace quecc::common

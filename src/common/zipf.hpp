@@ -1,0 +1,41 @@
+// Zipfian key-distribution generator (YCSB-compatible).
+//
+// YCSB's hot-key skew is the contention knob for most experiments in the
+// paper: theta = 0 is the "low-contention uniform" access pattern of
+// Table 2 row 2, while theta in [0.6, 0.99] produces the "high-contention"
+// regime of Section 2.1.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace quecc::common {
+
+/// Draws values in [0, n) with probability proportional to 1/rank^theta,
+/// using the Gray et al. rejection-free method popularized by YCSB.
+///
+/// theta == 0 degenerates to a uniform distribution. The generator is
+/// deterministic given (n, theta, rng state).
+class zipf_generator {
+ public:
+  zipf_generator(std::uint64_t n, double theta);
+
+  /// Next zipf-distributed value in [0, n).
+  std::uint64_t next(rng& r) noexcept;
+
+  std::uint64_t domain() const noexcept { return n_; }
+  double theta() const noexcept { return theta_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) noexcept;
+
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double half_pow_theta_;
+};
+
+}  // namespace quecc::common

@@ -1,0 +1,184 @@
+#include "core/engine.hpp"
+
+#include <chrono>
+#include <unordered_set>
+
+#include "common/thread_util.hpp"
+
+namespace quecc::core {
+
+namespace {
+std::uint64_t now_nanos() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+quecc_engine::quecc_engine(storage::database& db, const common::config& cfg)
+    : db_(db),
+      cfg_(cfg),
+      spec_(db),
+      sync_(static_cast<std::ptrdiff_t>(cfg.planner_threads) +
+            cfg.executor_threads + 1) {
+  cfg_.validate();
+  const bool rc = cfg_.iso == common::isolation::read_committed;
+  if (rc) committed_ = std::make_unique<storage::dual_version_store>(db_);
+
+  const worker_id_t planners = cfg_.planner_threads;
+  const worker_id_t execs = cfg_.executor_threads;
+
+  planners_.reserve(planners);
+  plan_outs_.resize(planners);
+  for (worker_id_t p = 0; p < planners; ++p) {
+    planners_.emplace_back(p, cfg_, db_);
+    // Pre-size queue containers so their addresses are stable for the
+    // engine lifetime; executors hold raw pointers into them.
+    plan_outs_[p].resize(execs, rc);
+  }
+
+  executors_.reserve(execs);
+  exec_queues_.resize(execs);
+  for (worker_id_t e = 0; e < execs; ++e) {
+    executors_.push_back(
+        std::make_unique<executor>(e, cfg_, db_, committed_.get()));
+    for (worker_id_t p = 0; p < planners; ++p) {
+      exec_queues_[e].push_back(&plan_outs_[p].conflict[e]);
+    }
+  }
+  if (rc) {
+    for (worker_id_t p = 0; p < planners; ++p) {
+      for (worker_id_t e = 0; e < execs; ++e) {
+        read_queues_.push_back(&plan_outs_[p].reads[e]);
+      }
+    }
+  }
+
+  threads_.reserve(static_cast<std::size_t>(planners) + execs);
+  for (worker_id_t p = 0; p < planners; ++p) {
+    threads_.emplace_back([this, p] { planner_main(p); });
+  }
+  for (worker_id_t e = 0; e < execs; ++e) {
+    threads_.emplace_back([this, e] { executor_main(e); });
+  }
+}
+
+quecc_engine::~quecc_engine() {
+  stop_.store(true, std::memory_order_release);
+  sync_.arrive_and_wait();  // release workers into the stop check
+  for (auto& t : threads_) t.join();
+}
+
+void quecc_engine::planner_main(worker_id_t p) {
+  common::name_self("quecc-plan-" + std::to_string(p));
+  if (cfg_.pin_threads) common::pin_self_to(p);
+  while (true) {
+    sync_.arrive_and_wait();  // (1) batch start
+    if (stop_.load(std::memory_order_acquire)) return;
+    planners_[p].plan(*current_, plan_outs_[p]);
+    sync_.arrive_and_wait();  // (2) planning complete
+    sync_.arrive_and_wait();  // (3) execution complete (idle)
+  }
+}
+
+void quecc_engine::executor_main(worker_id_t e) {
+  common::name_self("quecc-exec-" + std::to_string(e));
+  if (cfg_.pin_threads) {
+    common::pin_self_to(cfg_.planner_threads + e);
+  }
+  executor& ex = *executors_[e];
+  while (true) {
+    sync_.arrive_and_wait();  // (1) batch start
+    if (stop_.load(std::memory_order_acquire)) return;
+    sync_.arrive_and_wait();  // (2) wait for planning
+    ex.begin_batch(batch_start_nanos_);
+    ex.run_conflict_queues(exec_queues_[e]);
+    if (!read_queues_.empty()) {
+      ex.run_read_queues(read_queues_, read_cursor_);
+    }
+    sync_.arrive_and_wait();  // (3) execution complete
+  }
+}
+
+void quecc_engine::run_batch(txn::batch& b, common::run_metrics& m) {
+  common::stopwatch sw;
+  current_ = &b;
+  batch_start_nanos_ = now_nanos();
+  read_cursor_.store(0, std::memory_order_relaxed);
+
+  sync_.arrive_and_wait();  // (1) release planners
+  const double t0 = sw.seconds();
+  sync_.arrive_and_wait();  // (2) planning done, release executors
+  const double t1 = sw.seconds();
+  sync_.arrive_and_wait();  // (3) execution done
+  const double t2 = sw.seconds();
+
+  epilogue(b, m);
+  phases_.plan_seconds = t1 - t0;
+  phases_.exec_seconds = t2 - t1;
+  phases_.epilogue_seconds = sw.seconds() - t2;
+  phases_.planned_fragments = 0;
+  for (const auto& po : plan_outs_) phases_.planned_fragments += po.planned_frags;
+  phases_.queues = static_cast<std::uint64_t>(plan_outs_.size()) *
+                   (cfg_.executor_threads +
+                    (committed_ ? cfg_.executor_threads : 0));
+  m.batches += 1;
+  m.elapsed_seconds += sw.seconds();
+}
+
+recovery_stats batch_epilogue(
+    storage::database& db, const common::config& cfg, txn::batch& b,
+    std::span<const std::unique_ptr<executor>> executors, spec_manager& spec,
+    storage::dual_version_store* committed, common::run_metrics& m) {
+  // Speculative recovery: resolve speculation dependencies (cascading
+  // aborts + deterministic re-execution). Conservative execution cannot
+  // expose dirty data, so aborted transactions already left no effects.
+  recovery_stats rec{};
+  if (cfg.execution == common::exec_model::speculative) {
+    std::vector<exec_logs*> logs;
+    logs.reserve(executors.size());
+    for (auto& ex : executors) logs.push_back(&ex->logs());
+    rec = spec.recover(b, logs);
+    m.cc_aborts += rec.cascades;
+  }
+
+  for (auto& t : b) {
+    if (t->aborted()) {
+      m.aborted += 1;
+    } else {
+      t->status.store(txn::txn_status::committed, std::memory_order_release);
+      m.committed += 1;
+    }
+  }
+
+  // Read-committed: publish this batch's dirty rows into the committed
+  // image so the next batch's read queues observe them.
+  if (committed != nullptr) {
+    std::unordered_set<std::uint64_t> seen;
+    auto publish = [&](table_id_t table, storage::row_id_t rid) {
+      const std::uint64_t k =
+          (static_cast<std::uint64_t>(table) << 48) | rid;
+      if (seen.insert(k).second) committed->publish(db, table, rid);
+    };
+    for (auto& ex : executors) {
+      for (const auto& u : ex->logs().undo) {
+        if (u.op != txn::op_kind::erase) publish(u.table, u.rid);
+      }
+    }
+    for (const auto& [table, rid] : spec.extra_dirty()) publish(table, rid);
+  }
+
+  for (auto& ex : executors) {
+    m.txn_latency.merge(ex->latency());
+    ex->latency().reset();
+  }
+  return rec;
+}
+
+void quecc_engine::epilogue(txn::batch& b, common::run_metrics& m) {
+  last_rec_ =
+      batch_epilogue(db_, cfg_, b, executors_, spec_, committed_.get(), m);
+}
+
+}  // namespace quecc::core

@@ -1,0 +1,96 @@
+// The queue-oriented transaction processing engine (paper Figure 1).
+//
+// Lifecycle: construction spawns P planner threads and E executor threads
+// that live for the engine's lifetime (CP.41). Each run_batch() call walks
+// one batch through the two deterministic phases:
+//
+//     client batch --> [planning phase: P planners build P*E
+//                       priority-tagged fragment queues]
+//                  --> [execution phase: E executors drain queues in
+//                       priority order, FIFO within a queue]
+//                  --> [commit epilogue: speculative-abort recovery,
+//                       status marking, read-committed publish]
+//
+// Phases are separated by barriers, which provide the only inter-thread
+// happens-before edges the queues need — there is no concurrency control
+// during execution, only the lock-free dependency slots in txn_context.
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/executor.hpp"
+#include "core/planner.hpp"
+#include "core/spec_manager.hpp"
+#include "protocols/iface.hpp"
+#include "storage/dual_version.hpp"
+
+namespace quecc::core {
+
+/// Shared commit epilogue: speculative recovery, status marking, metrics,
+/// and read-committed publishing. Used by the centralized engine and the
+/// distributed engine (whose nodes share one process, so the deterministic
+/// epilogue runs once globally — matching the paradigm's "no 2PC" commit).
+recovery_stats batch_epilogue(
+    storage::database& db, const common::config& cfg, txn::batch& b,
+    std::span<const std::unique_ptr<executor>> executors, spec_manager& spec,
+    storage::dual_version_store* committed, common::run_metrics& m);
+
+class quecc_engine final : public proto::engine {
+ public:
+  /// `db` must outlive the engine and be fully loaded: under read-committed
+  /// isolation the committed-version store snapshots it here.
+  quecc_engine(storage::database& db, const common::config& cfg);
+  ~quecc_engine() override;
+
+  quecc_engine(const quecc_engine&) = delete;
+  quecc_engine& operator=(const quecc_engine&) = delete;
+
+  const char* name() const noexcept override { return "quecc"; }
+  void run_batch(txn::batch& b, common::run_metrics& m) override;
+
+  /// Stats of the most recent batch's speculative recovery (tests).
+  const recovery_stats& last_recovery() const noexcept { return last_rec_; }
+
+  /// Per-phase timing of the most recent batch (Figure 1 reproduction).
+  struct phase_stats {
+    double plan_seconds = 0;
+    double exec_seconds = 0;
+    double epilogue_seconds = 0;
+    std::uint64_t planned_fragments = 0;
+    std::uint64_t queues = 0;  ///< P*E conflict queues (+ read queues)
+  };
+  const phase_stats& last_phases() const noexcept { return phases_; }
+
+ private:
+  void planner_main(worker_id_t p);
+  void executor_main(worker_id_t e);
+  void epilogue(txn::batch& b, common::run_metrics& m);
+
+  storage::database& db_;
+  common::config cfg_;
+  std::unique_ptr<storage::dual_version_store> committed_;  // RC only
+  spec_manager spec_;
+
+  std::vector<planner> planners_;
+  std::vector<plan_output> plan_outs_;                // one per planner
+  std::vector<std::unique_ptr<executor>> executors_;  // stable addresses
+  std::vector<std::vector<const frag_queue*>> exec_queues_;  // [e] -> P ptrs
+  std::vector<const frag_queue*> read_queues_;        // flattened P*E (RC)
+  std::atomic<std::size_t> read_cursor_{0};
+
+  txn::batch* current_ = nullptr;
+  std::uint64_t batch_start_nanos_ = 0;
+  std::atomic<bool> stop_{false};
+  std::barrier<> sync_;
+  std::vector<std::thread> threads_;
+  recovery_stats last_rec_;
+  phase_stats phases_;
+};
+
+}  // namespace quecc::core

@@ -1,0 +1,53 @@
+// Per-executor execution logs: undo records and read tracking.
+//
+// These logs exist for two reasons:
+//  * speculative execution (paper Section 3.2) applies writes in place, so
+//    deterministic logic aborts need before-images to roll back, and
+//    speculation dependencies (Table 1) are discovered from "who accessed
+//    this record after the aborted writer" — answered with the read log;
+//  * read-committed isolation needs the set of dirtied rows to publish
+//    into the committed-version store at batch commit.
+//
+// Each executor owns one `exec_logs`; nothing here is shared during the
+// execution phase.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "storage/hash_index.hpp"
+#include "txn/fragment.hpp"
+
+namespace quecc::core {
+
+struct undo_entry {
+  seq_t seq = 0;
+  table_id_t table = 0;
+  key_t key = kInvalidKey;
+  storage::row_id_t rid = storage::kNoRow;
+  txn::op_kind op = txn::op_kind::update;
+  std::uint32_t arena_offset = 0;  ///< before-image start (update only)
+  std::uint32_t len = 0;           ///< before-image length (0: none kept)
+};
+
+struct read_entry {
+  seq_t seq = 0;
+  table_id_t table = 0;
+  key_t key = kInvalidKey;
+};
+
+struct exec_logs {
+  std::vector<undo_entry> undo;
+  std::vector<std::byte> arena;  ///< before-image bytes, append-only
+  std::vector<read_entry> reads;
+
+  void clear() noexcept {
+    undo.clear();
+    arena.clear();
+    reads.clear();
+  }
+};
+
+}  // namespace quecc::core

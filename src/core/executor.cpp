@@ -1,0 +1,173 @@
+#include "core/executor.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#include "common/spinlock.hpp"
+
+namespace quecc::core {
+
+namespace {
+std::uint64_t now_nanos() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+void executor::run_conflict_queues(
+    std::span<const frag_queue* const> queues) {
+  reading_committed_ = false;
+  for (const frag_queue* q : queues) {
+    for (const frag_entry& e : *q) process(e);
+  }
+}
+
+void executor::run_read_queues(std::span<const frag_queue* const> queues,
+                               std::atomic<std::size_t>& cursor) {
+  reading_committed_ = true;
+  while (true) {
+    const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+    if (i >= queues.size()) break;
+    for (const frag_entry& e : *queues[i]) process(e);
+  }
+  reading_committed_ = false;
+}
+
+void executor::process(const frag_entry& e) {
+  txn::txn_desc& t = *e.t;
+  const txn::fragment& f = *e.f;
+
+  if (t.aborted()) {
+    skip(e);
+    return;
+  }
+
+  // Data dependencies: wait for producer fragments (other executors) to
+  // publish the slots this fragment consumes. Deadlock-free because
+  // producers sort strictly earlier in the global replay order
+  // (DESIGN.md 2.2) — unless the txn aborts, which breaks the wait.
+  if (f.input_mask != 0) {
+    common::backoff bo;
+    while (!t.inputs_ready(f.input_mask)) {
+      if (t.aborted()) {
+        skip(e);
+        return;
+      }
+      bo.spin();
+    }
+  }
+
+  // Commit dependencies (conservative execution only): database-updating
+  // fragments hold off until every abortable fragment of the transaction
+  // has resolved, so uncommitted updates are never exposed (paper §3.2).
+  if (cfg_.execution == common::exec_model::conservative &&
+      f.updates_database()) {
+    common::backoff bo;
+    while (t.pending_abortables.load(std::memory_order_acquire) != 0) {
+      if (t.aborted()) {
+        skip(e);
+        return;
+      }
+      bo.spin();
+    }
+    if (t.aborted()) {  // abort decided by the final abortable fragment
+      skip(e);
+      return;
+    }
+  }
+
+  const txn::frag_status st = t.proc->run_fragment(f, t, *this);
+  // Publish the abort decision BEFORE resolving the commit dependency:
+  // conservative waiters observe pending_abortables with acquire ordering,
+  // so the release sequence on the counter makes the status store visible
+  // to them — decrementing first would open a window where a waiter sees
+  // zero pending abortables but not the abort, and applies a doomed update.
+  if (st == txn::frag_status::abort) t.mark_aborted();
+  if (f.abortable) {
+    t.pending_abortables.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  finish(t);
+}
+
+void executor::skip(const frag_entry& e) {
+  if (e.f->abortable) {
+    e.t->pending_abortables.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  finish(*e.t);
+}
+
+void executor::finish(txn::txn_desc& t) {
+  const auto left =
+      t.remaining_frags.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  if (left == 0) {
+    latency_.record_nanos(now_nanos() - batch_start_nanos_);
+  }
+}
+
+storage::row_id_t executor::resolve(const txn::fragment& f) const noexcept {
+  if (f.rid != storage::kNoRow) return f.rid;
+  return db_.at(f.table).lookup(f.key);
+}
+
+std::span<const std::byte> executor::read_row(const txn::fragment& f,
+                                              txn::txn_desc& t) {
+  const auto rid = resolve(f);
+  if (rid == storage::kNoRow) return {};
+  if (reading_committed_) {
+    // Read-committed read queues observe the previous batch's committed
+    // image; no read logging needed (immune to in-batch aborts).
+    return committed_->committed_row(f.table, rid);
+  }
+  if (cfg_.execution == common::exec_model::speculative) {
+    logs_.reads.push_back({t.seq, f.table, f.key});
+  }
+  return db_.at(f.table).row(rid);
+}
+
+void executor::log_undo_update(const txn::fragment& f, txn::txn_desc& t,
+                               storage::row_id_t rid) {
+  undo_entry u{t.seq, f.table, f.key, rid, txn::op_kind::update, 0, 0};
+  if (cfg_.execution == common::exec_model::speculative) {
+    const auto row = db_.at(f.table).row(rid);
+    u.arena_offset = static_cast<std::uint32_t>(logs_.arena.size());
+    u.len = static_cast<std::uint32_t>(row.size());
+    logs_.arena.insert(logs_.arena.end(), row.begin(), row.end());
+  }
+  // Conservative mode keeps the entry without a before-image: aborted
+  // transactions never reach update_row, so the entry only feeds the
+  // read-committed publish list.
+  logs_.undo.push_back(u);
+}
+
+std::span<std::byte> executor::update_row(const txn::fragment& f,
+                                          txn::txn_desc& t) {
+  const auto rid = resolve(f);
+  if (rid == storage::kNoRow) return {};
+  log_undo_update(f, t, rid);
+  return db_.at(f.table).row(rid);
+}
+
+std::span<std::byte> executor::insert_row(const txn::fragment& f,
+                                          txn::txn_desc& t) {
+  auto& table = db_.at(f.table);
+  const auto rid = table.allocate_row();
+  auto row = table.row(rid);
+  std::memset(row.data(), 0, row.size());
+  if (!table.index_row(f.key, rid)) return {};
+  logs_.undo.push_back(
+      {t.seq, f.table, f.key, rid, txn::op_kind::insert, 0, 0});
+  return row;
+}
+
+bool executor::erase_row(const txn::fragment& f, txn::txn_desc& t) {
+  const auto rid = resolve(f);
+  if (rid == storage::kNoRow) return false;
+  if (!db_.at(f.table).erase(f.key)) return false;
+  logs_.undo.push_back(
+      {t.seq, f.table, f.key, rid, txn::op_kind::erase, 0, 0});
+  return true;
+}
+
+}  // namespace quecc::core

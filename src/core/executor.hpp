@@ -1,0 +1,86 @@
+// Execution phase: one executor drains its assigned queues in priority
+// order (paper Section 3.2, second phase).
+//
+// "Execution threads are not aware of the actual transactions. They are
+// simply executing the logic associated with the fragments in the queues,
+// and obey the FIFO property of queues when processing fragments with
+// conflict dependencies." — the executor is exactly that: a queue drainer
+// plus the frag_host that gives fragment logic in-place access to rows.
+//
+// Coordination is limited to the lock-free txn_context (data / commit
+// dependencies, abort flags); there is no per-record locking or validation
+// anywhere on this path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "core/exec_log.hpp"
+#include "core/frag_queue.hpp"
+#include "storage/database.hpp"
+#include "storage/dual_version.hpp"
+#include "txn/procedure.hpp"
+
+namespace quecc::core {
+
+class executor final : public txn::frag_host {
+ public:
+  executor(worker_id_t id, const common::config& cfg, storage::database& db,
+           storage::dual_version_store* committed)
+      : id_(id), cfg_(cfg), db_(db), committed_(committed) {}
+
+  worker_id_t id() const noexcept { return id_; }
+  exec_logs& logs() noexcept { return logs_; }
+  common::latency_histogram& latency() noexcept { return latency_; }
+
+  /// Called by the engine at the start of each batch's execution phase.
+  void begin_batch(std::uint64_t batch_start_nanos) noexcept {
+    batch_start_nanos_ = batch_start_nanos;
+    logs_.clear();
+  }
+
+  /// Drain conflict queues in the given (priority-sorted) order.
+  void run_conflict_queues(std::span<const frag_queue* const> queues);
+
+  /// Claim and drain read-committed read queues from the shared pool.
+  /// `cursor` is the engine-owned claim index over `queues`.
+  void run_read_queues(std::span<const frag_queue* const> queues,
+                       std::atomic<std::size_t>& cursor);
+
+  // --- frag_host (in-place speculative / conservative execution) ---------
+  std::span<const std::byte> read_row(const txn::fragment& f,
+                                      txn::txn_desc& t) override;
+  std::span<std::byte> update_row(const txn::fragment& f,
+                                  txn::txn_desc& t) override;
+  std::span<std::byte> insert_row(const txn::fragment& f,
+                                  txn::txn_desc& t) override;
+  bool erase_row(const txn::fragment& f, txn::txn_desc& t) override;
+
+ private:
+  void process(const frag_entry& e);
+  void skip(const frag_entry& e);
+  void finish(txn::txn_desc& t);
+
+  /// Resolve a fragment's row id, falling back to an execution-time index
+  /// lookup for records created earlier in this batch (FIFO on the home
+  /// partition's queue makes the insert visible by now).
+  storage::row_id_t resolve(const txn::fragment& f) const noexcept;
+
+  void log_undo_update(const txn::fragment& f, txn::txn_desc& t,
+                       storage::row_id_t rid);
+
+  worker_id_t id_;
+  const common::config& cfg_;
+  storage::database& db_;
+  storage::dual_version_store* committed_;  ///< null unless read-committed
+  exec_logs logs_;
+  common::latency_histogram latency_;
+  std::uint64_t batch_start_nanos_ = 0;
+  bool reading_committed_ = false;  ///< true while draining read queues
+};
+
+}  // namespace quecc::core

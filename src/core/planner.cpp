@@ -1,0 +1,102 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+
+namespace quecc::core {
+
+void plan_output::resize(worker_id_t executors, bool with_read_queues) {
+  conflict.resize(executors);
+  reads.resize(with_read_queues ? executors : 0);
+}
+
+void plan_output::clear() {
+  for (auto& q : conflict) q.clear();
+  for (auto& q : reads) q.clear();
+  planned_frags = 0;
+}
+
+bool planner::goes_to_read_queue(const txn::fragment& f,
+                                 std::uint64_t writer_needed) const noexcept {
+  // Under read-committed isolation, pure reads are planned into dedicated
+  // read queues served from committed versions by any executor (paper
+  // Section 3.2, "Isolation Levels"). Abortable reads stay in conflict
+  // queues (the abort decision must see the serializable image), and so do
+  // reads feeding conflict-queue fragments (liveness, see header).
+  if (cfg_.iso != common::isolation::read_committed) return false;
+  if (f.kind != txn::op_kind::read || f.abortable) return false;
+  return f.output_slot == txn::kNoSlot ||
+         ((writer_needed >> f.output_slot) & 1) == 0;
+}
+
+worker_id_t planner::route(const txn::fragment& f) const noexcept {
+  // Node placement follows the record's home partition (data really lives
+  // somewhere); *within* a node, queues are split by a per-record hash so
+  // that even a single hot partition (1-warehouse TPC-C) spreads across
+  // every executor — the intra-transaction parallelism the paper contrasts
+  // with thread-to-transaction designs (Section 5). Same record => same
+  // partition => same node, and same key hash => same executor: conflict
+  // dependencies still collapse into one FIFO queue.
+  const auto executors = cfg_.executor_threads;
+  const auto e_per_node = static_cast<worker_id_t>(executors / cfg_.nodes);
+  const auto node =
+      static_cast<worker_id_t>((f.part % executors) / e_per_node);
+  std::uint64_t h = f.key + 0x9e3779b97f4a7c15ull * (f.table + 1);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 29;
+  return static_cast<worker_id_t>(node * e_per_node + h % e_per_node);
+}
+
+std::uint64_t planner::writer_needed_slots(const txn::txn_desc& t) noexcept {
+  std::uint64_t needed = 0;
+  for (auto it = t.frags.rbegin(); it != t.frags.rend(); ++it) {
+    const bool pinned_to_conflict =
+        it->updates_database() || it->abortable ||
+        (it->output_slot != txn::kNoSlot &&
+         ((needed >> it->output_slot) & 1) != 0);
+    if (pinned_to_conflict) needed |= it->input_mask;
+  }
+  return needed;
+}
+
+void planner::plan(txn::batch& b, plan_output& out) {
+  out.resize(cfg_.executor_threads,
+             cfg_.iso == common::isolation::read_committed);
+  out.clear();
+  const queue_priority prio{id_};
+  for (auto& q : out.conflict) q.set_priority(prio);
+  for (auto& q : out.reads) q.set_priority(prio);
+
+  // Contiguous slicing keeps the global replay order (planner priority,
+  // queue position) identical to batch sequence order, which is the
+  // paradigm's serial-equivalent order. Round-robin slicing would still be
+  // deterministic but would make the equivalent serial order a permutation
+  // of seq order, needlessly complicating reasoning and tests.
+  const auto planners = static_cast<std::size_t>(cfg_.planner_threads);
+  const std::size_t chunk = (b.size() + planners - 1) / planners;
+  const std::size_t begin = std::min<std::size_t>(id_ * chunk, b.size());
+  const std::size_t end = std::min(begin + chunk, b.size());
+  const bool rc = cfg_.iso == common::isolation::read_committed;
+  for (std::size_t i = begin; i < end; ++i) {
+    txn::txn_desc& t = b.at(i);
+    const std::uint64_t writer_needed = rc ? writer_needed_slots(t) : 0;
+    for (auto& f : t.frags) {
+      // Resolve the primary index here, in the planning phase. Fragments
+      // whose record is created inside this batch stay unresolved and are
+      // re-looked-up by the executor after the creating insert (same home
+      // partition => same queue => FIFO guarantees visibility).
+      if (f.kind != txn::op_kind::insert) {
+        f.rid = db_.at(f.table).lookup(f.key);
+      }
+      const auto e = route(f);
+      if (goes_to_read_queue(f, writer_needed)) {
+        out.reads[e].push({&t, &f});
+      } else {
+        out.conflict[e].push({&t, &f});
+      }
+      ++out.planned_frags;
+    }
+  }
+}
+
+}  // namespace quecc::core

@@ -1,0 +1,209 @@
+#include "core/spec_manager.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "protocols/local_host.hpp"
+#include "txn/procedure.hpp"
+
+namespace quecc::core {
+
+namespace {
+
+/// Record identity for recovery bookkeeping. A 64-bit mixed fingerprint of
+/// (table, key); a collision would merely over-taint (re-execute an
+/// unaffected transaction with unchanged inputs — a harmless no-op) and is
+/// deterministic across runs, so exactness is not required.
+std::uint64_t rec_id(table_id_t table, key_t key) noexcept {
+  std::uint64_t h = key + 0x9e3779b97f4a7c15ull * (table + 1);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 29;
+  return h;
+}
+
+}  // namespace
+
+recovery_stats spec_manager::recover(txn::batch& b,
+                                     std::span<exec_logs* const> logs) {
+  recovery_stats stats;
+  extra_dirty_.clear();
+
+  // --- 0. collect logic aborts -------------------------------------------
+  std::vector<std::uint8_t> affected(b.size(), 0);
+  std::vector<seq_t> worklist;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    if (b.at(i).aborted()) {
+      affected[i] = 1;
+      worklist.push_back(static_cast<seq_t>(i));
+      ++stats.logic_aborts;
+    }
+  }
+  if (worklist.empty()) return stats;
+
+  // --- 1. taint fixpoint over speculation dependencies --------------------
+  // accessors[record] = sorted txn seqs that touched the record (reads and
+  // writes); writers[record] = sorted txn seqs that actually wrote it
+  // (undo-log evidence); written[seq] = records the txn actually wrote.
+  //
+  // Two edge kinds close the affected set:
+  //  (a) forward:  anyone who accessed a record an affected txn actually
+  //      wrote, later in sequence order, read (or built on) dirty data;
+  //  (b) backward: anyone who actually wrote a record an affected txn
+  //      touches, later in sequence order, must be undone and replayed
+  //      *after* it — otherwise the affected txn's serial re-execution
+  //      would observe values from its own future.
+  std::unordered_map<std::uint64_t, std::vector<seq_t>> accessors;
+  std::unordered_map<std::uint64_t, std::vector<seq_t>> writers;
+  std::unordered_map<seq_t, std::vector<std::uint64_t>> written;
+  for (const exec_logs* log : logs) {
+    for (const auto& r : log->reads) {
+      accessors[rec_id(r.table, r.key)].push_back(r.seq);
+    }
+    for (const auto& u : log->undo) {
+      const auto rec = rec_id(u.table, u.key);
+      accessors[rec].push_back(u.seq);
+      writers[rec].push_back(u.seq);
+      written[u.seq].push_back(rec);
+    }
+  }
+  for (auto& [_, seqs] : accessors) std::sort(seqs.begin(), seqs.end());
+  for (auto& [_, seqs] : writers) std::sort(seqs.begin(), seqs.end());
+
+  const auto taint_after =
+      [&](const std::unordered_map<std::uint64_t, std::vector<seq_t>>& index,
+          std::uint64_t rec, seq_t t) {
+        auto it = index.find(rec);
+        if (it == index.end()) return;
+        auto lo = std::upper_bound(it->second.begin(), it->second.end(), t);
+        for (; lo != it->second.end(); ++lo) {
+          if (!affected[*lo]) {
+            affected[*lo] = 1;
+            ++stats.cascades;
+            worklist.push_back(*lo);
+          }
+        }
+      };
+
+  while (!worklist.empty()) {
+    const seq_t t = worklist.back();
+    worklist.pop_back();
+    if (auto wit = written.find(t); wit != written.end()) {
+      for (const std::uint64_t rec : wit->second) {
+        taint_after(accessors, rec, t);  // edge (a)
+      }
+    }
+    for (const auto& f : b.at(t).frags) {
+      taint_after(writers, rec_id(f.table, f.key), t);  // edge (b)
+    }
+  }
+
+  // --- 2. rollback affected writes, reverse order per record --------------
+  // All fragments of one record flow through one executor's queues, so a
+  // record's undo entries live in a single log, in execution (= sequence)
+  // order; undoing each per-record group back-to-front restores the value
+  // produced by the last unaffected writer.
+  struct undo_ref {
+    const exec_logs* log;
+    std::size_t pos;
+  };
+  std::unordered_map<std::uint64_t, std::vector<undo_ref>> per_record;
+  for (const exec_logs* log : logs) {
+    for (std::size_t i = 0; i < log->undo.size(); ++i) {
+      const auto& u = log->undo[i];
+      if (affected[u.seq]) {
+        per_record[rec_id(u.table, u.key)].push_back({log, i});
+      }
+    }
+  }
+  for (auto& [_, refs] : per_record) {
+    for (auto it = refs.rbegin(); it != refs.rend(); ++it) {
+      const auto& u = it->log->undo[it->pos];
+      auto& tab = db_.at(u.table);
+      switch (u.op) {
+        case txn::op_kind::update:
+          std::memcpy(tab.row(u.rid).data(),
+                      it->log->arena.data() + u.arena_offset, u.len);
+          break;
+        case txn::op_kind::insert:
+          tab.erase(u.key);
+          break;
+        case txn::op_kind::erase:
+          tab.index_row(u.key, u.rid);
+          break;
+        case txn::op_kind::read:
+          break;
+      }
+    }
+  }
+
+  // --- 3. deterministic serial re-execution in sequence order -------------
+  // Re-runs that logic-abort again roll themselves back inside
+  // run_txn_serially; dirty-read victims now commit with clean values.
+  // Every mutation is journaled so the pass can be unwound if escalation
+  // becomes necessary.
+  std::vector<proto::inplace_host::journal_entry> journal;
+  bool abort_flipped = false;
+  {
+    proto::inplace_host host(db_, &extra_dirty_);
+    host.set_journal(&journal);
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      if (!affected[i]) continue;
+      txn::txn_desc& t = b.at(i);
+      const bool was_aborted = t.aborted();
+      t.reset_runtime();
+      const bool committed = proto::run_txn_serially(t, host);
+      if (was_aborted && committed) abort_flipped = true;
+      ++stats.reexecuted;
+    }
+  }
+  if (!abort_flipped) return stats;
+
+  // --- 4. escalation: whole-batch deterministic re-execution ---------------
+  // An abort flipped into a commit: the transaction may now produce writes
+  // whose original readers were never tainted. Unwind this pass, restore
+  // the batch-start state from the complete undo logs (idempotent with the
+  // partial rollback of step 2), and replay everything serially.
+  stats.full_redo = true;
+  proto::unwind_journal(db_, journal);
+
+  std::unordered_map<std::uint64_t, std::vector<undo_ref>> all_records;
+  for (const exec_logs* log : logs) {
+    for (std::size_t i = 0; i < log->undo.size(); ++i) {
+      all_records[rec_id(log->undo[i].table, log->undo[i].key)].push_back(
+          {log, i});
+    }
+  }
+  for (auto& [_, refs] : all_records) {
+    for (auto it = refs.rbegin(); it != refs.rend(); ++it) {
+      const auto& u = it->log->undo[it->pos];
+      auto& tab = db_.at(u.table);
+      switch (u.op) {
+        case txn::op_kind::update:
+          std::memcpy(tab.row(u.rid).data(),
+                      it->log->arena.data() + u.arena_offset, u.len);
+          break;
+        case txn::op_kind::insert:
+          tab.erase(u.key);
+          break;
+        case txn::op_kind::erase:
+          tab.index_row(u.key, u.rid);
+          break;
+        case txn::op_kind::read:
+          break;
+      }
+    }
+  }
+
+  extra_dirty_.clear();
+  proto::inplace_host host(db_, &extra_dirty_);
+  for (auto& tp : b) {
+    tp->reset_runtime();
+    proto::run_txn_serially(*tp, host);
+  }
+  stats.reexecuted = static_cast<std::uint32_t>(b.size());
+  return stats;
+}
+
+}  // namespace quecc::core

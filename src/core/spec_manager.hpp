@@ -1,0 +1,73 @@
+// Speculation manager: deterministic recovery from logic aborts under
+// speculative execution.
+//
+// Paper Section 3.2: "When using speculative execution, additional
+// speculation dependencies occur. Resolving them may cause cascading
+// aborts." This component resolves them at batch commit time:
+//
+//  1. Taint fixpoint — starting from the logic-aborted transactions, any
+//     transaction that accessed a record an affected transaction *actually
+//     wrote* (undo-log evidence) with a larger sequence number is tainted
+//     (speculation dependency, Table 1), transitively. Actual writes — not
+//     declared write sets — keep cascades proportional to real dirty data:
+//     an abort that lands before the transaction's updates executed taints
+//     nobody.
+//  2. Rollback — every affected transaction's writes are undone in reverse
+//     order per record (before-images for updates, unlink for inserts,
+//     re-link for erases).
+//  3. Deterministic re-execution — affected transactions re-run serially in
+//     sequence order against the repaired state; deterministic logic aborts
+//     repeat and stay aborted, dirty-read victims now commit with clean
+//     values.
+//  4. Escalation (rare) — if a re-run flips an abort into a commit, the
+//     transaction may now write records it never wrote originally, whose
+//     later readers were not tainted. The pass's effects are unwound via
+//     its journal, the whole batch is restored to its start state (every
+//     undo entry, idempotent with step 2), and the batch is re-executed
+//     serially end-to-end — the unconditionally correct fallback.
+//
+// The outcome equals a serial execution of the batch in sequence order with
+// aborted transactions producing no effects — the determinism contract.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/exec_log.hpp"
+#include "storage/database.hpp"
+#include "txn/batch.hpp"
+
+namespace quecc::core {
+
+struct recovery_stats {
+  std::uint32_t logic_aborts = 0;  ///< transactions that aborted on logic
+  std::uint32_t cascades = 0;      ///< extra txns tainted via speculation
+  std::uint32_t reexecuted = 0;    ///< serial re-executions performed
+  bool full_redo = false;          ///< escalated to whole-batch re-execution
+};
+
+class spec_manager {
+ public:
+  explicit spec_manager(storage::database& db) : db_(db) {}
+
+  /// Run recovery over `b` given every executor's logs (indexed by
+  /// executor id). Leaves aborted transactions with txn_status::aborted
+  /// and re-committed ones with txn_status::active (the engine epilogue
+  /// marks commits). Returns what happened for metrics.
+  recovery_stats recover(txn::batch& b, std::span<exec_logs* const> logs);
+
+  /// Rows dirtied by recovery re-execution; the engine merges these into
+  /// the read-committed publish set.
+  const std::vector<std::pair<table_id_t, storage::row_id_t>>& extra_dirty()
+      const noexcept {
+    return extra_dirty_;
+  }
+
+ private:
+  storage::database& db_;
+  std::vector<std::pair<table_id_t, storage::row_id_t>> extra_dirty_;
+};
+
+}  // namespace quecc::core

@@ -1,0 +1,62 @@
+#include "harness/report.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+namespace quecc::harness {
+
+table_printer::table_printer(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void table_printer::row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string table_printer::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& r : rows_) widths[c] = std::max(widths[c], r[c].size());
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << " " << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c] << " |";
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  os << "|";
+  for (const auto w : widths) os << std::string(w + 2, '-') << "|";
+  os << "\n";
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void table_printer::print() const { std::fputs(str().c_str(), stdout); }
+
+std::string format_rate(double per_second) {
+  std::ostringstream os;
+  os << std::fixed;
+  if (per_second >= 1e6) {
+    os << std::setprecision(2) << per_second / 1e6 << "M txn/s";
+  } else if (per_second >= 1e3) {
+    os << std::setprecision(1) << per_second / 1e3 << "K txn/s";
+  } else {
+    os << std::setprecision(0) << per_second << " txn/s";
+  }
+  return os.str();
+}
+
+std::string format_factor(double factor) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(factor >= 10 ? 0 : 2) << factor
+     << "x";
+  return os.str();
+}
+
+}  // namespace quecc::harness

@@ -1,0 +1,30 @@
+// Result-table formatting: benches print paper-style rows (protocol,
+// throughput, speedup) so EXPERIMENTS.md can quote them directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace quecc::harness {
+
+/// Fixed-width text table. Collect rows, then str()/print().
+class table_printer {
+ public:
+  explicit table_printer(std::vector<std::string> headers);
+
+  void row(std::vector<std::string> cells);
+  std::string str() const;
+  void print() const;  ///< to stdout
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "1234567" -> "1.23M txn/s"-style human formatting.
+std::string format_rate(double per_second);
+
+/// Fixed-precision helper ("12.3x", "0.98x").
+std::string format_factor(double factor);
+
+}  // namespace quecc::harness

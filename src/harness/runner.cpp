@@ -1,0 +1,17 @@
+#include "harness/runner.hpp"
+
+namespace quecc::harness {
+
+run_result run_workload(proto::engine& eng, wl::workload& w,
+                        storage::database& db, common::rng& r,
+                        std::uint32_t batches, std::uint32_t batch_size) {
+  run_result out;
+  for (std::uint32_t i = 0; i < batches; ++i) {
+    txn::batch b = w.make_batch(r, batch_size, i);
+    eng.run_batch(b, out.metrics);
+  }
+  out.final_state_hash = db.state_hash();
+  return out;
+}
+
+}  // namespace quecc::harness

@@ -1,0 +1,26 @@
+// Benchmark/test runner: drives an engine over generated batches and
+// aggregates the paper's key metrics (throughput and latency, Section 4).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "protocols/iface.hpp"
+#include "workload/workload.hpp"
+
+namespace quecc::harness {
+
+struct run_result {
+  common::run_metrics metrics;
+  std::uint64_t final_state_hash = 0;
+};
+
+/// Generate `batches` batches of `batch_size` transactions from `w` (using
+/// `r`, which advances deterministically) and run them through `eng`
+/// against `db`. Returns aggregated metrics plus the database state hash.
+run_result run_workload(proto::engine& eng, wl::workload& w,
+                        storage::database& db, common::rng& r,
+                        std::uint32_t batches, std::uint32_t batch_size);
+
+}  // namespace quecc::harness

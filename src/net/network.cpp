@@ -1,0 +1,41 @@
+#include "net/network.hpp"
+
+#include <mutex>
+
+namespace quecc::net {
+
+network::network(node_id_t nodes, std::uint32_t one_way_latency_micros)
+    : inboxes_(nodes), latency_(one_way_latency_micros) {}
+
+void network::send(message m) {
+  m.deliver_at = sim_clock::now();
+  if (m.from != m.to) {
+    m.deliver_at += latency_;
+    sent_.fetch_add(1, std::memory_order_relaxed);
+  }
+  auto& box = inboxes_[m.to];
+  std::scoped_lock guard(box.latch);
+  box.q.push_back(m);
+}
+
+bool network::poll(node_id_t node, message& out) {
+  auto& box = inboxes_[node];
+  std::scoped_lock guard(box.latch);
+  if (box.q.empty()) return false;
+  // Constant latency keeps the deque ordered by delivery time up to
+  // sender interleaving jitter; checking the front is sufficient.
+  if (box.q.front().deliver_at > sim_clock::now()) return false;
+  out = box.q.front();
+  box.q.pop_front();
+  return true;
+}
+
+void network::broadcast(message m) {
+  for (node_id_t n = 0; n < nodes(); ++n) {
+    if (n == m.from) continue;
+    m.to = n;
+    send(m);
+  }
+}
+
+}  // namespace quecc::net

@@ -1,0 +1,54 @@
+// Simulated cluster network with per-message latency injection.
+//
+// Each node owns an inbox; send() stamps the message with a delivery time
+// (now + one-way latency) and poll() only surfaces messages that are due.
+// This models communication cost without sockets: the experiments care
+// about *relative* protocol overheads — how many rounds each commit needs —
+// which depend on message counts and latency, not on wire encoding.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <vector>
+
+#include "common/spinlock.hpp"
+#include "net/message.hpp"
+
+namespace quecc::net {
+
+class network {
+ public:
+  network(node_id_t nodes, std::uint32_t one_way_latency_micros);
+
+  node_id_t nodes() const noexcept { return static_cast<node_id_t>(inboxes_.size()); }
+
+  /// Enqueue for delivery after the simulated one-way latency. Self-sends
+  /// are delivered immediately (loopback).
+  void send(message m);
+
+  /// Non-blocking: pop the oldest due message for `node`. Returns false
+  /// when nothing is deliverable yet.
+  bool poll(node_id_t node, message& out);
+
+  /// Broadcast to every node except `from`.
+  void broadcast(message m);
+
+  std::uint64_t messages_sent() const noexcept {
+    return sent_.load(std::memory_order_relaxed);
+  }
+  void reset_counters() noexcept {
+    sent_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct inbox {
+    common::spinlock latch;
+    std::deque<message> q;
+  };
+
+  std::vector<inbox> inboxes_;
+  std::chrono::microseconds latency_;
+  std::atomic<std::uint64_t> sent_{0};
+};
+
+}  // namespace quecc::net

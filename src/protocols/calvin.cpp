@@ -1,0 +1,206 @@
+#include "protocols/calvin.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+#include "common/thread_util.hpp"
+#include "protocols/local_host.hpp"
+
+namespace quecc::proto {
+
+namespace {
+std::uint64_t now_nanos() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+calvin_engine::calvin_engine(storage::database& db,
+                             const common::config& cfg)
+    : db_(db), cfg_(cfg) {
+  cfg_.validate();
+}
+
+std::uint64_t calvin_engine::rec_of(table_id_t table, key_t key) noexcept {
+  std::uint64_t h = key + 0x9e3779b97f4a7c15ull * (table + 1);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 29;
+  return h;
+}
+
+void calvin_engine::lock_set(
+    const txn::txn_desc& t,
+    std::vector<std::pair<std::uint64_t, bool>>& out) {
+  out.clear();
+  for (const auto& f : t.frags) {
+    const std::uint64_t rec = rec_of(f.table, f.key);
+    const bool exclusive = f.updates_database();
+    bool found = false;
+    for (auto& [r, x] : out) {
+      if (r == rec) {
+        x = x || exclusive;  // strongest required mode
+        found = true;
+        break;
+      }
+    }
+    if (!found) out.emplace_back(rec, exclusive);
+  }
+}
+
+void calvin_engine::ensure_pool() {
+  if (pool_) return;
+  worker_metrics_.resize(cfg_.worker_threads);
+  pool_ = std::make_unique<common::batch_pool>(
+      cfg_.worker_threads, [this](unsigned w) { worker_job(w); }, "calvin",
+      cfg_.pin_threads);
+}
+
+void calvin_engine::push_ready(seq_t s) {
+  std::scoped_lock guard(ready_latch_);
+  ready_.push_back(s);  // capacity reserved per batch: no reallocation
+  ready_count_.fetch_add(1, std::memory_order_release);
+}
+
+bool calvin_engine::pop_ready(seq_t& s) {
+  common::backoff bo;
+  while (true) {
+    const std::size_t h = ready_head_.load(std::memory_order_relaxed);
+    const std::size_t c = ready_count_.load(std::memory_order_acquire);
+    if (h < c) {
+      std::size_t expect = h;
+      if (ready_head_.compare_exchange_weak(expect, h + 1,
+                                            std::memory_order_acq_rel)) {
+        s = ready_[h];
+        return true;
+      }
+      continue;
+    }
+    if (remaining_.load(std::memory_order_acquire) == 0) return false;
+    bo.spin();
+  }
+}
+
+void calvin_engine::run_batch(txn::batch& b, common::run_metrics& m) {
+  ensure_pool();
+  common::stopwatch sw;
+  current_ = &b;
+  batch_start_nanos_ = now_nanos();
+  for (auto& s : stripes_) s.locks.clear();
+  for (auto& wm : worker_metrics_) wm = common::run_metrics{};
+
+  // Pre-pass: initialize every transaction's ungranted-lock counter before
+  // workers can possibly release locks into it.
+  pending_locks_ = std::vector<std::atomic<std::uint32_t>>(b.size());
+  std::vector<std::pair<std::uint64_t, bool>> set;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    lock_set(b.at(i), set);
+    pending_locks_[i].store(static_cast<std::uint32_t>(set.size()),
+                            std::memory_order_relaxed);
+  }
+  ready_.clear();
+  ready_.reserve(b.size());
+  ready_head_.store(0, std::memory_order_relaxed);
+  ready_count_.store(0, std::memory_order_relaxed);
+  remaining_.store(static_cast<std::uint32_t>(b.size()),
+                   std::memory_order_release);
+
+  pool_->begin_round();
+  schedule(b);  // this thread IS Calvin's single-threaded lock scheduler
+  pool_->end_round();
+
+  for (auto& wm : worker_metrics_) m.merge(wm);
+  m.batches += 1;
+  m.elapsed_seconds += sw.seconds();
+}
+
+void calvin_engine::schedule(txn::batch& b) {
+  std::vector<std::pair<std::uint64_t, bool>> set;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const auto seq = static_cast<seq_t>(i);
+    lock_set(b.at(i), set);
+    if (set.empty()) {
+      push_ready(seq);
+      continue;
+    }
+    for (const auto& [rec, exclusive] : set) {
+      stripe& st = stripe_of(rec);
+      bool granted = false;
+      {
+        std::scoped_lock guard(st.latch);
+        lock_entry& e = st.locks[rec];
+        if (e.waiters.empty() &&
+            (e.holders == 0 || (!exclusive && !e.held_exclusive))) {
+          e.held_exclusive = e.holders == 0 ? exclusive
+                                            : e.held_exclusive;
+          e.holders += 1;
+          granted = true;
+        } else {
+          e.waiters.push_back({seq, exclusive});
+        }
+      }
+      if (granted &&
+          pending_locks_[seq].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        push_ready(seq);
+      }
+    }
+  }
+}
+
+void calvin_engine::release_locks(txn::txn_desc& t) {
+  std::vector<std::pair<std::uint64_t, bool>> set;
+  lock_set(t, set);
+  std::vector<seq_t> newly_ready;
+  for (const auto& [rec, exclusive] : set) {
+    stripe& st = stripe_of(rec);
+    std::vector<seq_t> granted;
+    {
+      std::scoped_lock guard(st.latch);
+      lock_entry& e = st.locks[rec];
+      e.holders -= 1;
+      if (e.holders == 0) e.held_exclusive = false;
+      // FIFO grant: head waiter, then consecutive shared waiters.
+      while (!e.waiters.empty()) {
+        const lock_request& w = e.waiters.front();
+        const bool can_grant =
+            e.holders == 0 || (!w.exclusive && !e.held_exclusive);
+        if (!can_grant) break;
+        e.held_exclusive = e.holders == 0 ? w.exclusive : e.held_exclusive;
+        e.holders += 1;
+        granted.push_back(w.seq);
+        e.waiters.erase(e.waiters.begin());
+        if (e.held_exclusive) break;
+      }
+    }
+    for (const seq_t s : granted) {
+      if (pending_locks_[s].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        newly_ready.push_back(s);
+      }
+    }
+  }
+  for (const seq_t s : newly_ready) push_ready(s);
+}
+
+void calvin_engine::worker_job(unsigned worker) {
+  txn::batch& b = *current_;
+  common::run_metrics& wm = worker_metrics_[worker];
+  inplace_host host(db_);
+
+  seq_t s;
+  while (pop_ready(s)) {
+    txn::txn_desc& t = b.at(s);
+    if (run_txn_serially(t, host)) {
+      wm.committed += 1;
+    } else {
+      wm.aborted += 1;
+    }
+    wm.txn_latency.record_nanos(now_nanos() - batch_start_nanos_);
+    release_locks(t);
+    remaining_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+}  // namespace quecc::proto

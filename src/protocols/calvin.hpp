@@ -1,0 +1,85 @@
+// Calvin-style deterministic locking (Thomson et al., SIGMOD'12) —
+// the distributed baseline of Table 2 row 2, here in its single-node form
+// (src/dist/dist_calvin.* adds the sequencer + simulated cluster).
+//
+// A single lock-scheduler thread walks the batch in sequence order and
+// requests every transaction's declared locks in that order; grants are
+// strictly FIFO per record, so the execution is deterministic and
+// equivalent to sequence order. Worker threads execute transactions whose
+// locks are all granted (thread-to-transaction assignment — the paper's
+// Section 5 contrast with thread-to-queue) and release locks on completion,
+// cascading grants to waiters. The single-threaded scheduler is Calvin's
+// well-known bottleneck and the effect the comparison measures.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/batch_pool.hpp"
+#include "common/spinlock.hpp"
+#include "protocols/iface.hpp"
+
+namespace quecc::proto {
+
+class calvin_engine final : public engine {
+ public:
+  calvin_engine(storage::database& db, const common::config& cfg);
+
+  const char* name() const noexcept override { return "calvin"; }
+  void run_batch(txn::batch& b, common::run_metrics& m) override;
+
+ private:
+  struct lock_request {
+    seq_t seq;
+    bool exclusive;
+  };
+  struct lock_entry {
+    bool held_exclusive = false;
+    std::uint32_t holders = 0;
+    std::vector<lock_request> waiters;  // FIFO, seq order by construction
+  };
+  struct stripe {
+    common::spinlock latch;
+    std::unordered_map<std::uint64_t, lock_entry> locks;
+  };
+  static constexpr std::size_t kStripes = 64;
+
+  void worker_job(unsigned worker);
+  void ensure_pool();
+  void schedule(txn::batch& b);
+  void release_locks(txn::txn_desc& t);
+  void push_ready(seq_t s);
+  bool pop_ready(seq_t& s);
+
+  static std::uint64_t rec_of(table_id_t table, key_t key) noexcept;
+  stripe& stripe_of(std::uint64_t rec) noexcept {
+    return stripes_[rec % kStripes];
+  }
+
+  /// Declared lock set of a transaction: unique records with the strongest
+  /// required mode.
+  static void lock_set(const txn::txn_desc& t,
+                       std::vector<std::pair<std::uint64_t, bool>>& out);
+
+  storage::database& db_;
+  common::config cfg_;
+  std::unique_ptr<common::batch_pool> pool_;
+
+  txn::batch* current_ = nullptr;
+  std::uint64_t batch_start_nanos_ = 0;
+  std::array<stripe, kStripes> stripes_;
+  std::vector<std::atomic<std::uint32_t>> pending_locks_;
+
+  common::spinlock ready_latch_;
+  std::vector<seq_t> ready_;
+  std::atomic<std::size_t> ready_head_{0};
+  std::atomic<std::size_t> ready_count_{0};
+  std::atomic<std::uint32_t> remaining_{0};
+  std::vector<common::run_metrics> worker_metrics_;
+};
+
+}  // namespace quecc::proto

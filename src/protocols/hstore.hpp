@@ -1,0 +1,53 @@
+// H-Store-style partitioned deterministic execution (Kallman et al.,
+// VLDB'08) — the baseline of Table 2 row 1.
+//
+// One single-threaded executor owns each partition; single-partition
+// transactions run serially on their home partition with no concurrency
+// control at all (H-Store's headline trick). A multi-partition transaction
+// takes partition-level locks on every participant: all participant
+// executors rendezvous at the transaction's sequence position, the lowest
+// participant runs it alone while the others stall, and a configurable
+// busy-wait charges the 2PC coordination cost. This blocking behaviour —
+// not the per-transaction work — is what collapses under multi-partition
+// workloads, which is exactly the effect the paper's comparison exercises.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "common/batch_pool.hpp"
+#include "protocols/iface.hpp"
+
+namespace quecc::proto {
+
+class hstore_engine final : public engine {
+ public:
+  hstore_engine(storage::database& db, const common::config& cfg);
+
+  const char* name() const noexcept override { return "hstore"; }
+  void run_batch(txn::batch& b, common::run_metrics& m) override;
+
+ private:
+  struct mp_state {
+    std::atomic<std::uint32_t> arrived{0};
+    std::atomic<bool> done{false};
+    std::uint32_t participants = 0;
+    part_id_t home = 0;
+  };
+
+  void worker_job(unsigned worker);
+  void ensure_pool();
+
+  storage::database& db_;
+  common::config cfg_;
+  std::unique_ptr<common::batch_pool> pool_;
+
+  txn::batch* current_ = nullptr;
+  std::uint64_t batch_start_nanos_ = 0;
+  // Per-partition ordered work lists; entry = (txn index, mp index or -1).
+  std::vector<std::vector<std::pair<std::uint32_t, std::int32_t>>> lists_;
+  std::vector<std::unique_ptr<mp_state>> mp_states_;
+  std::vector<common::run_metrics> worker_metrics_;
+};
+
+}  // namespace quecc::proto

@@ -1,0 +1,50 @@
+// Common engine interface: every transaction processing protocol in the
+// repository (the queue-oriented engine and all ported baselines) plugs in
+// here, mirroring how the paper ports all protocols into the single
+// ExpoDB test-bed for apples-to-apples comparison (Section 4).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "storage/database.hpp"
+#include "txn/batch.hpp"
+
+namespace quecc::proto {
+
+class engine {
+ public:
+  virtual ~engine() = default;
+
+  virtual const char* name() const noexcept = 0;
+
+  /// Process one batch of transactions to completion, accumulating
+  /// throughput / abort / latency metrics into `m`. On return every
+  /// transaction in `b` has a final status (committed or aborted) and the
+  /// database reflects exactly the committed transactions' effects.
+  virtual void run_batch(txn::batch& b, common::run_metrics& m) = 0;
+
+  /// Commit order (txn seqs) of the most recent batch, when the protocol
+  /// tracks one. Deterministic engines return nullptr: their equivalent
+  /// serial order is always sequence order. Property tests re-execute the
+  /// batch serially in this order to verify serializability.
+  virtual const std::vector<seq_t>* commit_order() const noexcept {
+    return nullptr;
+  }
+};
+
+/// Instantiate a centralized engine by name. Known names:
+///   "quecc", "serial", "2pl-nowait", "2pl-waitdie", "silo", "tictoc",
+///   "mvto", "hstore", "calvin".
+/// Throws std::invalid_argument for unknown names.
+std::unique_ptr<engine> make_engine(const std::string& name,
+                                    storage::database& db,
+                                    const common::config& cfg);
+
+/// Every name make_engine accepts, in presentation order.
+std::vector<std::string> engine_names();
+
+}  // namespace quecc::proto

@@ -1,0 +1,159 @@
+// In-place fragment host with local undo — shared by every engine that
+// executes a transaction in one thread directly against table rows
+// (serial reference, H-Store partitions, Calvin workers, and the
+// speculation manager's recovery pass).
+//
+// Always resolves records by key (robust to same-batch inserts/erases),
+// keeps an undo stack so a deterministic logic abort rolls the transaction
+// back immediately, and optionally records dirtied rows for read-committed
+// publishing.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "storage/database.hpp"
+#include "txn/procedure.hpp"
+
+namespace quecc::proto {
+
+class inplace_host final : public txn::frag_host {
+ public:
+  struct journal_entry {
+    table_id_t table;
+    key_t key;
+    storage::row_id_t rid;
+    txn::op_kind op;
+    std::vector<std::byte> before;
+  };
+
+  explicit inplace_host(
+      storage::database& db,
+      std::vector<std::pair<table_id_t, storage::row_id_t>>* dirty = nullptr)
+      : db_(db), dirty_(dirty) {}
+
+  /// Record every mutation (including rollback restores) into `j`, never
+  /// cleared by begin_txn(). Reverse-applying the journal restores the
+  /// database to its state when the journal was attached — the speculation
+  /// manager uses this to unwind a recovery pass that needs escalation.
+  void set_journal(std::vector<journal_entry>* j) noexcept { journal_ = j; }
+
+  void begin_txn() { undo_.clear(); }
+
+  /// Undo every effect since begin_txn(), newest first.
+  void rollback_txn() {
+    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+      auto& tab = db_.at(it->table);
+      switch (it->op) {
+        case txn::op_kind::update: {
+          auto row = tab.row(it->rid);
+          if (journal_ != nullptr) {
+            journal_->push_back({it->table, it->key, it->rid,
+                                 txn::op_kind::update,
+                                 {row.begin(), row.end()}});
+          }
+          std::memcpy(row.data(), it->before.data(), it->before.size());
+          break;
+        }
+        case txn::op_kind::insert:
+          if (journal_ != nullptr) {
+            journal_->push_back({it->table, it->key, it->rid,
+                                 txn::op_kind::erase, {}});
+          }
+          tab.erase(it->key);
+          break;
+        case txn::op_kind::erase:
+          if (journal_ != nullptr) {
+            journal_->push_back({it->table, it->key, it->rid,
+                                 txn::op_kind::insert, {}});
+          }
+          tab.index_row(it->key, it->rid);
+          break;
+        case txn::op_kind::read:
+          break;
+      }
+    }
+    undo_.clear();
+  }
+
+  std::span<const std::byte> read_row(const txn::fragment& f,
+                                      txn::txn_desc&) override {
+    const auto rid = db_.at(f.table).lookup(f.key);
+    if (rid == storage::kNoRow) return {};
+    return db_.at(f.table).row(rid);
+  }
+
+  std::span<std::byte> update_row(const txn::fragment& f,
+                                  txn::txn_desc&) override {
+    auto& tab = db_.at(f.table);
+    const auto rid = tab.lookup(f.key);
+    if (rid == storage::kNoRow) return {};
+    auto row = tab.row(rid);
+    undo_.push_back({f.table, f.key, rid, txn::op_kind::update,
+                     {row.begin(), row.end()}});
+    if (journal_ != nullptr) journal_->push_back(undo_.back());
+    if (dirty_ != nullptr) dirty_->emplace_back(f.table, rid);
+    return row;
+  }
+
+  std::span<std::byte> insert_row(const txn::fragment& f,
+                                  txn::txn_desc&) override {
+    auto& tab = db_.at(f.table);
+    const auto rid = tab.allocate_row();
+    auto row = tab.row(rid);
+    std::memset(row.data(), 0, row.size());
+    if (!tab.index_row(f.key, rid)) return {};
+    undo_.push_back({f.table, f.key, rid, txn::op_kind::insert, {}});
+    if (journal_ != nullptr) journal_->push_back(undo_.back());
+    if (dirty_ != nullptr) dirty_->emplace_back(f.table, rid);
+    return row;
+  }
+
+  bool erase_row(const txn::fragment& f, txn::txn_desc&) override {
+    auto& tab = db_.at(f.table);
+    const auto rid = tab.lookup(f.key);
+    if (rid == storage::kNoRow) return false;
+    if (!tab.erase(f.key)) return false;
+    undo_.push_back({f.table, f.key, rid, txn::op_kind::erase, {}});
+    if (journal_ != nullptr) journal_->push_back(undo_.back());
+    return true;
+  }
+
+ private:
+  storage::database& db_;
+  std::vector<std::pair<table_id_t, storage::row_id_t>>* dirty_;
+  std::vector<journal_entry> undo_;  ///< per-txn, cleared by begin_txn
+  std::vector<journal_entry>* journal_ = nullptr;  ///< external, persistent
+};
+
+/// Reverse-apply a journal (newest first), restoring the database to its
+/// state when the journal was attached.
+inline void unwind_journal(storage::database& db,
+                           const std::vector<inplace_host::journal_entry>& j) {
+  for (auto it = j.rbegin(); it != j.rend(); ++it) {
+    auto& tab = db.at(it->table);
+    switch (it->op) {
+      case txn::op_kind::update:
+        std::memcpy(tab.row(it->rid).data(), it->before.data(),
+                    it->before.size());
+        break;
+      case txn::op_kind::insert:
+        tab.erase(it->key);
+        break;
+      case txn::op_kind::erase:
+        tab.index_row(it->key, it->rid);
+        break;
+      case txn::op_kind::read:
+        break;
+    }
+  }
+}
+
+/// Run one transaction's fragments in index order against `host`.
+/// Returns true when the transaction committed, false on logic abort
+/// (the host has already been rolled back). Leaves txn status set.
+bool run_txn_serially(txn::txn_desc& t, inplace_host& host);
+
+}  // namespace quecc::proto

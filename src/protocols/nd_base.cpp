@@ -1,0 +1,106 @@
+#include "protocols/nd_base.hpp"
+
+#include <mutex>
+
+#include "txn/procedure.hpp"
+
+namespace quecc::proto {
+
+nd_engine_base::nd_engine_base(storage::database& db,
+                               const common::config& cfg,
+                               const char* display_name)
+    : db_(db), cfg_(cfg), display_name_(display_name) {
+  cfg_.validate();
+}
+
+void nd_engine_base::ensure_pool() {
+  if (pool_) return;
+  // Deferred so that make_worker (a virtual) is never called during the
+  // base constructor.
+  const unsigned n = cfg_.worker_threads;
+  workers_.reserve(n);
+  for (unsigned w = 0; w < n; ++w) workers_.push_back(make_worker(w));
+  worker_metrics_.resize(n);
+  pool_ = std::make_unique<common::batch_pool>(
+      n, [this](unsigned w) { worker_job(w); }, display_name_,
+      cfg_.pin_threads);
+}
+
+void nd_engine_base::run_batch(txn::batch& b, common::run_metrics& m) {
+  ensure_pool();
+  common::stopwatch sw;
+  current_ = &b;
+  cursor_.store(0, std::memory_order_relaxed);
+  commit_order_.clear();
+  commit_order_.reserve(b.size());
+  for (auto& wm : worker_metrics_) wm = common::run_metrics{};
+
+  pool_->run_round();
+
+  for (auto& wm : worker_metrics_) m.merge(wm);
+  m.batches += 1;
+  m.elapsed_seconds += sw.seconds();
+}
+
+void nd_engine_base::worker_job(unsigned w) {
+  worker_ctx& ctx = *workers_[w];
+  common::run_metrics& wm = worker_metrics_[w];
+  txn::batch& b = *current_;
+
+  while (true) {
+    const std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= b.size()) break;
+    txn::txn_desc& t = b.at(i);
+
+    common::stopwatch txn_sw;
+    common::backoff bo;
+    while (true) {  // retry loop: cc aborts restart, logic aborts are final
+      t.reset_runtime();
+      ctx.begin(t);
+
+      bool logic_abort = false;
+      for (const auto& f : t.frags) {
+        // Thread-to-transaction execution: fragments run in idx order in
+        // this thread, so data dependencies are trivially satisfied.
+        const auto st = t.proc->run_fragment(f, t, ctx.host());
+        if (f.abortable) {
+          t.pending_abortables.fetch_sub(1, std::memory_order_relaxed);
+        }
+        if (ctx.cc_failed()) break;
+        if (st == txn::frag_status::abort) {
+          logic_abort = true;
+          break;
+        }
+      }
+
+      if (ctx.cc_failed()) {
+        ctx.abort_attempt(t);
+        wm.cc_aborts += 1;
+        bo.spin();
+        continue;
+      }
+      if (logic_abort) {
+        t.mark_aborted();  // final status first: abort_attempt may read it
+        ctx.abort_attempt(t);
+        wm.aborted += 1;
+        break;
+      }
+      const auto record_order = [this, &t] {
+        std::scoped_lock guard(order_lock_);
+        commit_order_.push_back(t.seq);
+      };
+      if (!ctx.try_commit(t, record_order)) {
+        ctx.abort_attempt(t);
+        wm.cc_aborts += 1;
+        bo.spin();
+        continue;
+      }
+      t.status.store(txn::txn_status::committed, std::memory_order_release);
+      wm.committed += 1;
+      break;
+    }
+    wm.txn_latency.record_nanos(txn_sw.nanos());
+  }
+}
+
+}  // namespace quecc::proto

@@ -1,0 +1,49 @@
+#include "protocols/serial.hpp"
+
+#include "common/stats.hpp"
+#include "txn/procedure.hpp"
+
+namespace quecc::proto {
+
+bool run_txn_serially(txn::txn_desc& t, inplace_host& host) {
+  host.begin_txn();
+  for (const auto& f : t.frags) {
+    // Serial execution: data dependencies are ready by construction
+    // (producer idx < consumer idx, checked by validate_plan).
+    const auto st = t.proc->run_fragment(f, t, host);
+    if (f.abortable) {
+      t.pending_abortables.fetch_sub(1, std::memory_order_relaxed);
+    }
+    if (st == txn::frag_status::abort) {
+      t.mark_aborted();
+      host.rollback_txn();
+      return false;
+    }
+  }
+  t.status.store(txn::txn_status::committed, std::memory_order_release);
+  return true;
+}
+
+serial_engine::serial_engine(storage::database& db, const common::config& cfg)
+    : db_(db), cfg_(cfg) {}
+
+void serial_engine::run_batch(txn::batch& b, common::run_metrics& m) {
+  common::stopwatch sw;
+  commit_order_.clear();
+  inplace_host host(db_);
+  for (auto& tp : b) {
+    txn::txn_desc& t = *tp;
+    common::stopwatch txn_sw;
+    if (run_txn_serially(t, host)) {
+      m.committed += 1;
+      commit_order_.push_back(t.seq);
+    } else {
+      m.aborted += 1;
+    }
+    m.txn_latency.record_nanos(txn_sw.nanos());
+  }
+  m.batches += 1;
+  m.elapsed_seconds += sw.seconds();
+}
+
+}  // namespace quecc::proto

@@ -1,0 +1,27 @@
+// Serial reference engine: executes the batch single-threaded in sequence
+// order. Zero concurrency, trivially serializable — the ground truth every
+// other engine's final state is compared against in the test suite.
+#pragma once
+
+#include "protocols/iface.hpp"
+#include "protocols/local_host.hpp"
+
+namespace quecc::proto {
+
+class serial_engine final : public engine {
+ public:
+  serial_engine(storage::database& db, const common::config& cfg);
+
+  const char* name() const noexcept override { return "serial"; }
+  void run_batch(txn::batch& b, common::run_metrics& m) override;
+  const std::vector<seq_t>* commit_order() const noexcept override {
+    return &commit_order_;
+  }
+
+ private:
+  storage::database& db_;
+  common::config cfg_;
+  std::vector<seq_t> commit_order_;
+};
+
+}  // namespace quecc::proto

@@ -1,0 +1,26 @@
+// Silo-style optimistic concurrency control (Tu et al., SOSP'13), ported
+// to the shared test-bed the way the paper ports it into ExpoDB.
+//
+// Reads record a TID snapshot; writes are buffered privately. Commit locks
+// the write set in a deterministic global order, validates the read set
+// (TID unchanged, not locked by others), then installs buffered writes with
+// a fresh TID. Epoch-based durability machinery is out of scope (no
+// logging in the test-bed); the concurrency control core is faithful.
+//
+// row_meta.word1 is the TID word: bit 63 = lock, bits 0..62 = version.
+#pragma once
+
+#include "protocols/nd_base.hpp"
+
+namespace quecc::proto {
+
+class silo_engine final : public nd_engine_base {
+ public:
+  silo_engine(storage::database& db, const common::config& cfg)
+      : nd_engine_base(db, cfg, "silo") {}
+
+ protected:
+  std::unique_ptr<worker_ctx> make_worker(unsigned w) override;
+};
+
+}  // namespace quecc::proto

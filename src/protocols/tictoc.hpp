@@ -1,0 +1,24 @@
+// TicToc-style timestamp-ordering OCC (Yu et al., SIGMOD'16).
+//
+// Every row carries a write timestamp (wts) and a read timestamp (rts);
+// transactions compute their commit timestamp lazily from the data they
+// actually touched, extending read leases at validation instead of
+// aborting whenever possible — the "time traveling" trick.
+//
+// row_meta.word1 = lock bit (63) | wts; row_meta.word2 = rts.
+#pragma once
+
+#include "protocols/nd_base.hpp"
+
+namespace quecc::proto {
+
+class tictoc_engine final : public nd_engine_base {
+ public:
+  tictoc_engine(storage::database& db, const common::config& cfg)
+      : nd_engine_base(db, cfg, "tictoc") {}
+
+ protected:
+  std::unique_ptr<worker_ctx> make_worker(unsigned w) override;
+};
+
+}  // namespace quecc::proto

@@ -1,0 +1,23 @@
+#include "storage/catalog.hpp"
+
+#include <stdexcept>
+
+namespace quecc::storage {
+
+table_id_t catalog::register_table(const std::string& name) {
+  if (ids_.contains(name)) {
+    throw std::invalid_argument("duplicate table: " + name);
+  }
+  const auto id = static_cast<table_id_t>(names_.size());
+  ids_.emplace(name, id);
+  names_.push_back(name);
+  return id;
+}
+
+table_id_t catalog::id_of(const std::string& name) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) throw std::out_of_range("unknown table: " + name);
+  return it->second;
+}
+
+}  // namespace quecc::storage

@@ -1,0 +1,31 @@
+// Catalog: name -> table id resolution.
+//
+// Built once by a workload's loader, immutable afterwards; engines resolve
+// ids at load time and use integer ids on hot paths.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace quecc::storage {
+
+class catalog {
+ public:
+  /// Registers a table name, returning its id. Throws on duplicates.
+  table_id_t register_table(const std::string& name);
+
+  /// Throws std::out_of_range when the name is unknown.
+  table_id_t id_of(const std::string& name) const;
+
+  const std::string& name_of(table_id_t id) const { return names_.at(id); }
+  std::size_t table_count() const noexcept { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, table_id_t> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace quecc::storage

@@ -1,0 +1,32 @@
+#include "storage/database.hpp"
+
+namespace quecc::storage {
+
+table& database::create_table(const std::string& name, schema s,
+                              std::size_t capacity) {
+  const table_id_t id = cat_.register_table(name);
+  tables_.push_back(std::make_unique<table>(id, name, std::move(s), capacity));
+  return *tables_.back();
+}
+
+std::uint64_t database::state_hash() const {
+  std::uint64_t h = 0;
+  for (const auto& t : tables_) {
+    // Rotate per table so that moving a row between tables changes the hash.
+    h = (h << 1) ^ (h >> 63) ^ t->state_hash();
+  }
+  return h;
+}
+
+std::unique_ptr<database> database::clone() const {
+  auto copy = std::make_unique<database>();
+  for (const auto& t : tables_) {
+    auto& nt = copy->create_table(t->name(), t->layout(), t->capacity());
+    nt.set_replicated(t->replicated());
+    t->for_each_live(
+        [&](key_t key, row_id_t rid) { nt.insert(key, t->row(rid)); });
+  }
+  return copy;
+}
+
+}  // namespace quecc::storage

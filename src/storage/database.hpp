@@ -1,0 +1,47 @@
+// Database: the collection of tables an engine operates on.
+//
+// This plays the role the ExpoDB test-bed storage layer plays in the paper's
+// evaluation (Section 4): one storage engine shared by the queue-oriented
+// engine and every ported baseline, so comparisons are apples-to-apples.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/catalog.hpp"
+#include "storage/table.hpp"
+
+namespace quecc::storage {
+
+class database {
+ public:
+  /// Create a table and return a reference valid for the database lifetime.
+  table& create_table(const std::string& name, schema s, std::size_t capacity);
+
+  table& at(table_id_t id) { return *tables_.at(id); }
+  const table& at(table_id_t id) const { return *tables_.at(id); }
+  table& by_name(const std::string& name) { return at(cat_.id_of(name)); }
+  const table& by_name(const std::string& name) const {
+    return at(cat_.id_of(name));
+  }
+
+  const catalog& cat() const noexcept { return cat_; }
+  std::size_t table_count() const noexcept { return tables_.size(); }
+
+  /// Order-independent hash over every table's live contents. Two databases
+  /// with identical logical state hash equal — the backbone of the
+  /// determinism and protocol-equivalence test suites.
+  std::uint64_t state_hash() const;
+
+  /// Deep logical copy: fresh tables with the same schemas/capacities and
+  /// the same live (key, payload) contents. Per-row protocol metadata is
+  /// reset (it is transient protocol state, not database state).
+  std::unique_ptr<database> clone() const;
+
+ private:
+  catalog cat_;
+  std::vector<std::unique_ptr<table>> tables_;
+};
+
+}  // namespace quecc::storage

@@ -1,0 +1,35 @@
+#include "storage/dual_version.hpp"
+
+#include <cstring>
+
+namespace quecc::storage {
+
+dual_version_store::dual_version_store(const database& db) {
+  shadows_.resize(db.table_count());
+  for (table_id_t t = 0; t < db.table_count(); ++t) {
+    const auto& tab = db.at(t);
+    auto& s = shadows_[t];
+    s.row_size = tab.layout().row_size();
+    s.capacity = tab.capacity();
+    s.bytes = std::make_unique<std::byte[]>(s.row_size * s.capacity);
+    // Snapshot currently loaded rows; unallocated slots stay zeroed and are
+    // published when first inserted.
+    std::memcpy(s.bytes.get(), tab.row(0).data(),
+                s.row_size * tab.allocated_rows());
+  }
+}
+
+void dual_version_store::publish(const database& db, table_id_t table,
+                                 row_id_t rid) noexcept {
+  auto& s = shadows_[table];
+  const auto src = db.at(table).row(rid);
+  std::memcpy(s.bytes.get() + rid * s.row_size, src.data(), s.row_size);
+}
+
+void dual_version_store::publish_all_dirty(
+    const database& db,
+    const std::vector<std::pair<table_id_t, row_id_t>>& dirty) noexcept {
+  for (const auto& [t, rid] : dirty) publish(db, t, rid);
+}
+
+}  // namespace quecc::storage

@@ -1,0 +1,49 @@
+// Committed-version store backing read-committed isolation.
+//
+// Paper Section 3.2 ("Isolation Levels"): supporting read-committed with
+// speculative execution "requires maintaining a speculative version and a
+// committed version of records". In this engine the table's own rows are
+// the speculative (working) versions; this sidecar keeps a committed copy
+// per row. The commit epilogue publishes the batch's dirty rows, flipping
+// them visible to the read-committed read queues of the *next* batch.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "storage/database.hpp"
+
+namespace quecc::storage {
+
+class dual_version_store {
+ public:
+  /// Snapshots the committed image of every table in `db`. Call after load.
+  explicit dual_version_store(const database& db);
+
+  /// Committed bytes of a row (stable until the next publish of that row).
+  std::span<const std::byte> committed_row(table_id_t table,
+                                           row_id_t rid) const noexcept {
+    const auto& t = shadows_[table];
+    return {t.bytes.get() + rid * t.row_size, t.row_size};
+  }
+
+  /// Copy a row's current (working) bytes into the committed image.
+  void publish(const database& db, table_id_t table, row_id_t rid) noexcept;
+
+  /// Publish a freshly inserted row (extends coverage to new slots).
+  void publish_all_dirty(const database& db,
+                         const std::vector<std::pair<table_id_t, row_id_t>>&
+                             dirty) noexcept;
+
+ private:
+  struct shadow {
+    std::unique_ptr<std::byte[]> bytes;
+    std::size_t row_size = 0;
+    std::size_t capacity = 0;
+  };
+  std::vector<shadow> shadows_;
+};
+
+}  // namespace quecc::storage

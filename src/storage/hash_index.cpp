@@ -1,0 +1,81 @@
+#include "storage/hash_index.hpp"
+
+#include <bit>
+#include <mutex>
+
+namespace quecc::storage {
+
+namespace {
+std::size_t round_pow2(std::size_t n) {
+  return std::bit_ceil(n < 16 ? std::size_t{16} : n);
+}
+}  // namespace
+
+hash_index::hash_index(std::size_t expected)
+    : buckets_(round_pow2(expected * 2)),
+      locks_(std::min<std::size_t>(round_pow2(expected / 64 + 1), 4096)) {
+  mask_ = buckets_.size() - 1;
+  lock_mask_ = locks_.size() - 1;
+}
+
+std::uint64_t hash_index::mix(key_t key) noexcept {
+  // Fibonacci/murmur-style finalizer; cheap and well distributed.
+  std::uint64_t h = key;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+const hash_index::bucket& hash_index::bucket_for(key_t key) const noexcept {
+  return buckets_[mix(key) & mask_];
+}
+
+hash_index::bucket& hash_index::bucket_for(key_t key) noexcept {
+  return buckets_[mix(key) & mask_];
+}
+
+common::spinlock& hash_index::lock_for(key_t key) const noexcept {
+  return locks_[mix(key) & lock_mask_];
+}
+
+row_id_t hash_index::lookup(key_t key) const noexcept {
+  std::scoped_lock guard(lock_for(key));
+  for (const auto& e : bucket_for(key).entries) {
+    if (e.key == key) return e.row;
+  }
+  return kNoRow;
+}
+
+bool hash_index::insert(key_t key, row_id_t row) {
+  std::scoped_lock guard(lock_for(key));
+  auto& b = bucket_for(key);
+  for (const auto& e : b.entries) {
+    if (e.key == key) return false;
+  }
+  b.entries.push_back({key, row});
+  return true;
+}
+
+bool hash_index::erase(key_t key) {
+  std::scoped_lock guard(lock_for(key));
+  auto& entries = bucket_for(key).entries;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].key == key) {
+      entries[i] = entries.back();
+      entries.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t hash_index::size() const noexcept {
+  std::size_t n = 0;
+  for (const auto& b : buckets_) n += b.entries.size();
+  return n;
+}
+
+}  // namespace quecc::storage

@@ -1,0 +1,67 @@
+// Primary-key hash index: key -> row id.
+//
+// Bucket-chained with striped spinlocks. Lookups and inserts are short
+// critical sections (CP.43); stripes keep cross-partition traffic apart.
+// Deterministic engines do all lookups in the planning phase, so the
+// execution phase never touches the index except for inserts/deletes that
+// are themselves routed to a single home partition.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/spinlock.hpp"
+#include "common/types.hpp"
+
+namespace quecc::storage {
+
+using row_id_t = std::uint64_t;
+inline constexpr row_id_t kNoRow = ~0ull;
+
+class hash_index {
+ public:
+  /// `expected` sizes the bucket array (rounded up to a power of two).
+  explicit hash_index(std::size_t expected);
+
+  /// Returns kNoRow when absent (including tombstoned keys).
+  row_id_t lookup(key_t key) const noexcept;
+
+  /// Insert; returns false when the key already exists.
+  bool insert(key_t key, row_id_t row);
+
+  /// Remove; returns false when the key was absent.
+  bool erase(key_t key);
+
+  std::size_t size() const noexcept;
+
+  /// Visit every (key, row) pair; not concurrent with writers. Used by
+  /// state hashing and loaders only.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& b : buckets_) {
+      for (const auto& e : b.entries) fn(e.key, e.row);
+    }
+  }
+
+ private:
+  struct entry {
+    key_t key;
+    row_id_t row;
+  };
+  struct bucket {
+    std::vector<entry> entries;
+  };
+
+  static std::uint64_t mix(key_t key) noexcept;
+  const bucket& bucket_for(key_t key) const noexcept;
+  bucket& bucket_for(key_t key) noexcept;
+  common::spinlock& lock_for(key_t key) const noexcept;
+
+  std::vector<bucket> buckets_;
+  mutable std::vector<common::spinlock> locks_;
+  std::uint64_t mask_ = 0;
+  std::uint64_t lock_mask_ = 0;
+};
+
+}  // namespace quecc::storage

@@ -1,0 +1,74 @@
+#include "storage/schema.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace quecc::storage {
+
+namespace {
+std::size_t type_size(const column& c) {
+  switch (c.type) {
+    case col_type::u64:
+    case col_type::i64:
+    case col_type::f64:
+      return 8;
+    case col_type::bytes:
+      return c.size;
+  }
+  return c.size;
+}
+}  // namespace
+
+schema::schema(std::vector<column> cols) : cols_(std::move(cols)) {
+  offsets_.reserve(cols_.size());
+  for (auto& c : cols_) {
+    c.size = type_size(c);
+    offsets_.push_back(row_size_);
+    row_size_ += c.size;
+  }
+  if (row_size_ == 0) throw std::invalid_argument("schema with zero columns");
+}
+
+std::size_t schema::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_[i].name == name) return i;
+  }
+  throw std::out_of_range("no such column: " + name);
+}
+
+std::uint64_t read_u64(std::span<const std::byte> row, std::size_t offset) {
+  std::uint64_t v;
+  std::memcpy(&v, row.data() + offset, sizeof v);
+  return v;
+}
+
+std::int64_t read_i64(std::span<const std::byte> row, std::size_t offset) {
+  std::int64_t v;
+  std::memcpy(&v, row.data() + offset, sizeof v);
+  return v;
+}
+
+double read_f64(std::span<const std::byte> row, std::size_t offset) {
+  double v;
+  std::memcpy(&v, row.data() + offset, sizeof v);
+  return v;
+}
+
+void write_u64(std::span<std::byte> row, std::size_t offset, std::uint64_t v) {
+  std::memcpy(row.data() + offset, &v, sizeof v);
+}
+
+void write_i64(std::span<std::byte> row, std::size_t offset, std::int64_t v) {
+  std::memcpy(row.data() + offset, &v, sizeof v);
+}
+
+void write_f64(std::span<std::byte> row, std::size_t offset, double v) {
+  std::memcpy(row.data() + offset, &v, sizeof v);
+}
+
+void write_bytes(std::span<std::byte> row, std::size_t offset,
+                 std::span<const std::byte> src) {
+  std::memcpy(row.data() + offset, src.data(), src.size());
+}
+
+}  // namespace quecc::storage

@@ -1,0 +1,58 @@
+// Table schemas: typed, fixed-width columns over flat byte rows.
+//
+// Every table stores rows as contiguous fixed-size byte arrays; a schema
+// maps column names to offsets. Fixed-width rows keep the execution phase
+// free of allocation and make before-image capture (undo) a memcpy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace quecc::storage {
+
+/// Supported column types. `bytes` is a fixed-length opaque field (TPC-C
+/// strings); numeric types are stored little-endian in the row buffer.
+enum class col_type : std::uint8_t { u64, i64, f64, bytes };
+
+struct column {
+  std::string name;
+  col_type type = col_type::u64;
+  std::size_t size = 8;  ///< bytes; fixed 8 for numeric types
+};
+
+/// Immutable column layout. Build once via the constructor, then share.
+class schema {
+ public:
+  schema() = default;
+  explicit schema(std::vector<column> cols);
+
+  std::size_t row_size() const noexcept { return row_size_; }
+  std::size_t column_count() const noexcept { return cols_.size(); }
+
+  const column& col(std::size_t idx) const { return cols_.at(idx); }
+  std::size_t offset(std::size_t idx) const { return offsets_.at(idx); }
+
+  /// Index of a column by name; throws std::out_of_range when missing.
+  std::size_t index_of(const std::string& name) const;
+
+ private:
+  std::vector<column> cols_;
+  std::vector<std::size_t> offsets_;
+  std::size_t row_size_ = 0;
+};
+
+/// Typed accessors over a raw row buffer. These are free functions instead
+/// of a row class so tables can hand out spans without wrapper objects.
+std::uint64_t read_u64(std::span<const std::byte> row, std::size_t offset);
+std::int64_t read_i64(std::span<const std::byte> row, std::size_t offset);
+double read_f64(std::span<const std::byte> row, std::size_t offset);
+void write_u64(std::span<std::byte> row, std::size_t offset, std::uint64_t v);
+void write_i64(std::span<std::byte> row, std::size_t offset, std::int64_t v);
+void write_f64(std::span<std::byte> row, std::size_t offset, double v);
+void write_bytes(std::span<std::byte> row, std::size_t offset,
+                 std::span<const std::byte> src);
+
+}  // namespace quecc::storage

@@ -1,0 +1,57 @@
+#include "storage/table.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace quecc::storage {
+
+table::table(table_id_t id, std::string name, schema s, std::size_t capacity)
+    : id_(id),
+      name_(std::move(name)),
+      schema_(std::move(s)),
+      row_size_(schema_.row_size()),
+      capacity_(capacity),
+      slots_(std::make_unique<std::byte[]>(row_size_ * capacity)),
+      meta_(capacity),
+      index_(capacity) {}
+
+row_id_t table::allocate_row() {
+  const row_id_t rid = next_row_.fetch_add(1, std::memory_order_acq_rel);
+  if (rid >= capacity_) {
+    throw std::length_error("table '" + name_ + "' exceeded capacity " +
+                            std::to_string(capacity_));
+  }
+  return rid;
+}
+
+row_id_t table::insert(key_t key, std::span<const std::byte> payload) {
+  const row_id_t rid = allocate_row();
+  auto dst = row(rid);
+  std::memset(dst.data(), 0, dst.size());
+  std::memcpy(dst.data(), payload.data(),
+              std::min(payload.size(), dst.size()));
+  if (!index_.insert(key, rid)) return kNoRow;
+  return rid;
+}
+
+std::uint64_t table::state_hash() const {
+  // FNV-1a per row over key + payload, combined with addition so that the
+  // result is independent of index iteration order.
+  std::uint64_t acc = 0;
+  index_.for_each([&](key_t k, row_id_t rid) {
+    std::uint64_t h = 1469598103934665603ull;
+    auto absorb = [&h](const std::byte* p, std::size_t n) {
+      for (std::size_t i = 0; i < n; ++i) {
+        h ^= static_cast<std::uint64_t>(p[i]);
+        h *= 1099511628211ull;
+      }
+    };
+    absorb(reinterpret_cast<const std::byte*>(&k), sizeof k);
+    const auto r = row(rid);
+    absorb(r.data(), r.size());
+    acc += h;
+  });
+  return acc;
+}
+
+}  // namespace quecc::storage

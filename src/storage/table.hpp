@@ -1,0 +1,105 @@
+// In-memory table: fixed-width rows + primary-key hash index + per-row
+// protocol metadata.
+//
+// Capacity is preallocated at construction so row spans stay valid for the
+// table's lifetime — executors across threads hold spans concurrently and a
+// reallocating vector would invalidate them. Loaders size tables with
+// headroom for benchmark inserts (TPC-C orders/order-lines).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "storage/hash_index.hpp"
+#include "storage/schema.hpp"
+
+namespace quecc::storage {
+
+/// Per-row metadata words used by the *baseline* protocols; the
+/// queue-oriented engine never touches them (its whole point is to need no
+/// per-record concurrency control). Interpretation is protocol-specific:
+///   2PL-NoWait : word1 = lock state (high bit exclusive, low bits shared)
+///   Silo       : word1 = TID word (lock bit 63, epoch/counter below)
+///   TicToc     : word1 = wts, word2 = rts
+struct row_meta {
+  std::atomic<std::uint64_t> word1{0};
+  std::atomic<std::uint64_t> word2{0};
+};
+
+class table {
+ public:
+  /// `capacity` rows are preallocated; exceeding it throws std::length_error
+  /// from insert/allocate (tables are sized by the loader, growth would
+  /// invalidate concurrently-held row spans).
+  table(table_id_t id, std::string name, schema s, std::size_t capacity);
+
+  table_id_t id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+  const schema& layout() const noexcept { return schema_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Read-only tables replicated at every partition (TPC-C's ITEM):
+  /// partitioned engines treat reads of them as partition-local, exactly
+  /// like H-Store's replicated dimension tables.
+  void set_replicated(bool r) noexcept { replicated_ = r; }
+  bool replicated() const noexcept { return replicated_; }
+  std::size_t allocated_rows() const noexcept {
+    return next_row_.load(std::memory_order_acquire);
+  }
+
+  // --- row access ---------------------------------------------------------
+  std::span<std::byte> row(row_id_t rid) noexcept {
+    return {slots_.get() + rid * row_size_, row_size_};
+  }
+  std::span<const std::byte> row(row_id_t rid) const noexcept {
+    return {slots_.get() + rid * row_size_, row_size_};
+  }
+  row_meta& meta(row_id_t rid) noexcept { return meta_[rid]; }
+
+  // --- key operations -----------------------------------------------------
+  row_id_t lookup(key_t key) const noexcept { return index_.lookup(key); }
+
+  /// Allocate a fresh slot (concurrent-safe) without indexing it yet.
+  row_id_t allocate_row();
+
+  /// Allocate + copy payload + index. Returns kNoRow on duplicate key.
+  row_id_t insert(key_t key, std::span<const std::byte> payload);
+
+  /// Index a previously allocated row under `key`.
+  bool index_row(key_t key, row_id_t rid) { return index_.insert(key, rid); }
+
+  /// Unlink a key (slot is retired, not reused). Returns false if absent.
+  bool erase(key_t key) { return index_.erase(key); }
+
+  std::size_t live_rows() const noexcept { return index_.size(); }
+
+  /// Visit all live (key, row id) pairs. Not safe concurrently with writes.
+  template <typename Fn>
+  void for_each_live(Fn&& fn) const {
+    index_.for_each([&](key_t k, row_id_t rid) { fn(k, rid); });
+  }
+
+  /// Order-independent hash over live (key, payload) pairs; equal table
+  /// contents hash equal regardless of insertion order. Tests use this to
+  /// compare engines.
+  std::uint64_t state_hash() const;
+
+ private:
+  table_id_t id_;
+  std::string name_;
+  schema schema_;
+  std::size_t row_size_;
+  std::size_t capacity_;
+  bool replicated_ = false;
+  std::unique_ptr<std::byte[]> slots_;
+  std::vector<row_meta> meta_;
+  hash_index index_;
+  std::atomic<std::uint64_t> next_row_{0};
+};
+
+}  // namespace quecc::storage

@@ -1,0 +1,67 @@
+// Transaction fragments — the unit of planning and execution.
+//
+// Paper Section 3.1: a transaction is broken into fragments containing the
+// relevant transaction logic and aborting conditions; a fragment can
+// perform multiple operations (read/modify/write) on the *same* record.
+//
+// Dependencies (paper Table 1) map onto this struct as follows:
+//  * data dependency     — `input_mask` names value slots of the owning
+//    transaction that must be ready before this fragment runs;
+//    `output_slot` is the slot this fragment produces.
+//  * conflict dependency — not represented here at all: both fragments are
+//    routed to the same execution queue and FIFO order resolves it.
+//  * commit dependency   — `kind != read` fragments must not apply before
+//    the transaction's abortable fragments resolve (enforced by the
+//    conservative executor; tracked via txn_context::pending_abortables).
+//  * speculation dependency — arises at run time under speculative
+//    execution; tracked by the speculation manager's read/undo logs.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "storage/hash_index.hpp"
+
+namespace quecc::txn {
+
+/// What a fragment does to its record.
+enum class op_kind : std::uint8_t {
+  read,    ///< read-only access
+  update,  ///< read-modify-write in place
+  insert,  ///< create the record (key known at plan time, see DESIGN.md)
+  erase,   ///< unlink the record
+};
+
+inline constexpr std::uint16_t kNoSlot = 0xffff;
+
+/// Maximum value slots per transaction; data-dependency wait masks are one
+/// 64-bit word wide.
+inline constexpr std::size_t kMaxSlots = 64;
+
+/// Result of running one fragment's logic.
+enum class frag_status : std::uint8_t {
+  ok,
+  abort,  ///< deterministic logic abort (abortable fragments only)
+};
+
+/// A planned fragment. Immutable during the execution phase except for
+/// `rid`, which the planner resolves (index lookup) before queues are
+/// released — part of the paradigm's "planning does the lookups" design.
+struct fragment {
+  table_id_t table = 0;
+  part_id_t part = 0;  ///< home partition: routing target for queues
+  key_t key = kInvalidKey;
+  storage::row_id_t rid = storage::kNoRow;  ///< resolved in planning phase
+
+  op_kind kind = op_kind::read;
+  bool abortable = false;  ///< may deterministically abort the transaction
+  std::uint16_t idx = 0;   ///< position within the transaction (total order)
+  std::uint16_t logic = 0; ///< procedure-specific logic selector
+  std::uint16_t output_slot = kNoSlot;
+  std::uint64_t input_mask = 0;  ///< slots that must be ready before running
+  std::uint64_t aux = 0;         ///< immediate operand (value, qty, item#...)
+
+  bool updates_database() const noexcept { return kind != op_kind::read; }
+};
+
+}  // namespace quecc::txn

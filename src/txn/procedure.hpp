@@ -1,0 +1,72 @@
+// Stored procedures and the fragment-host interface.
+//
+// A procedure supplies the logic for every fragment kind a workload emits.
+// The same procedure object drives *every* engine in the repository: the
+// queue-oriented engine runs fragments from queues (thread-to-queue), the
+// baselines run a transaction's fragments in idx order inside one worker
+// (thread-to-transaction). Engines differ only in the `frag_host` they
+// pass in, which decides how rows are located, latched, versioned, and
+// undo-logged.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "txn/fragment.hpp"
+#include "txn/txn_context.hpp"
+
+namespace quecc::txn {
+
+/// Engine-side effect interface handed to fragment logic.
+///
+/// Spans returned by update/insert are writable row images; whether they
+/// point into the table (in-place speculative execution), into a private
+/// write buffer (OCC baselines), or into a versioned copy (MVTO) is the
+/// engine's business. Empty spans signal "record not found" — abortable
+/// fragments translate that into frag_status::abort.
+class frag_host {
+ public:
+  virtual ~frag_host() = default;
+
+  /// Read access to the fragment's record. Empty span when missing.
+  virtual std::span<const std::byte> read_row(const fragment& f,
+                                              txn_desc& t) = 0;
+
+  /// Read-modify-write access. Empty span when missing.
+  virtual std::span<std::byte> update_row(const fragment& f, txn_desc& t) = 0;
+
+  /// Create the fragment's record; returns the writable (zeroed) image.
+  /// Empty span on duplicate key or capacity pressure.
+  virtual std::span<std::byte> insert_row(const fragment& f, txn_desc& t) = 0;
+
+  /// Unlink the fragment's record; false when absent.
+  virtual bool erase_row(const fragment& f, txn_desc& t) = 0;
+};
+
+/// Fragment logic: executes fragment `f` of transaction `t` against `h`.
+/// Must be deterministic: outputs may depend only on `f`, `t.args`, ready
+/// slot values, and row contents obtained from `h`.
+using frag_fn = frag_status (*)(const fragment& f, txn_desc& t, frag_host& h);
+
+/// A workload-defined transaction program.
+class procedure {
+ public:
+  procedure(std::string name, frag_fn fn, std::uint16_t slot_count)
+      : name_(std::move(name)), fn_(fn), slot_count_(slot_count) {}
+
+  const std::string& name() const noexcept { return name_; }
+  std::uint16_t slot_count() const noexcept { return slot_count_; }
+
+  frag_status run_fragment(const fragment& f, txn_desc& t,
+                           frag_host& h) const {
+    return fn_(f, t, h);
+  }
+
+ private:
+  std::string name_;
+  frag_fn fn_;
+  std::uint16_t slot_count_;
+};
+
+}  // namespace quecc::txn

@@ -1,0 +1,96 @@
+// Transaction descriptor: the static plan (fragments, args) plus the shared
+// runtime context threads coordinate through.
+//
+// The runtime part is the paper's "shared lock-free and thread-safe
+// distributed data structure" for dependency information (Section 3.2):
+// value slots with atomic ready flags resolve data dependencies, and the
+// pending-abortables counter resolves commit dependencies — no locks, no
+// condition variables, just atomics that executor threads poll with
+// backoff.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "txn/fragment.hpp"
+
+namespace quecc::txn {
+
+class procedure;  // see txn/procedure.hpp
+
+enum class txn_status : std::uint8_t {
+  active,
+  committed,
+  aborted,  ///< deterministic logic abort
+};
+
+/// One data-dependency value slot. Producers store the value then set
+/// ready with release ordering; consumers acquire-load ready before the
+/// value, so the value read is always the produced one.
+struct value_slot {
+  std::atomic<std::uint64_t> value{0};
+  std::atomic<std::uint8_t> ready{0};
+};
+
+class txn_desc {
+ public:
+  txn_desc() = default;
+  txn_desc(const txn_desc&) = delete;
+  txn_desc& operator=(const txn_desc&) = delete;
+
+  // --- static plan (filled by the workload generator) ---------------------
+  txn_id_t id = 0;
+  seq_t seq = 0;                   ///< batch position = serial order
+  const procedure* proc = nullptr;
+  std::vector<fragment> frags;
+  std::vector<std::uint64_t> args;  ///< procedure parameters
+
+  // --- runtime context -----------------------------------------------------
+  std::atomic<txn_status> status{txn_status::active};
+  std::atomic<std::uint32_t> pending_abortables{0};
+  std::atomic<std::uint32_t> remaining_frags{0};
+  std::uint64_t start_nanos = 0;  ///< set when batch execution starts
+
+  /// Prepare runtime state for (re-)execution of the same plan. Counts
+  /// abortable fragments and resets slots/status.
+  void reset_runtime();
+
+  bool aborted() const noexcept {
+    return status.load(std::memory_order_acquire) == txn_status::aborted;
+  }
+
+  /// Deterministic logic abort: first caller wins; idempotent.
+  void mark_aborted() noexcept {
+    status.store(txn_status::aborted, std::memory_order_release);
+  }
+
+  // --- value slots (data dependencies) ------------------------------------
+  std::size_t slot_count() const noexcept { return slots_.size(); }
+  void resize_slots(std::size_t n);
+
+  /// Producer side: publish `v` into `slot`.
+  void produce(std::uint16_t slot, std::uint64_t v) noexcept {
+    slots_[slot].value.store(v, std::memory_order_relaxed);
+    slots_[slot].ready.store(1, std::memory_order_release);
+  }
+
+  /// Consumer side: true when every slot in `mask` is ready.
+  bool inputs_ready(std::uint64_t mask) const noexcept;
+
+  /// Consumer side: read a slot's value (caller checked readiness).
+  std::uint64_t slot_value(std::uint16_t slot) const noexcept {
+    return slots_[slot].value.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot of slot values + status for result-determinism comparisons.
+  std::vector<std::uint64_t> result_fingerprint() const;
+
+ private:
+  std::vector<value_slot> slots_;
+};
+
+}  // namespace quecc::txn

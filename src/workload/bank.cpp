@@ -1,0 +1,109 @@
+#include "workload/bank.hpp"
+
+namespace quecc::wl {
+
+namespace {
+
+storage::schema account_schema() {
+  return storage::schema({{"BALANCE", storage::col_type::u64, 8},
+                          {"OWNER", storage::col_type::bytes, 16}});
+}
+
+txn::frag_status run_fragment(const txn::fragment& f, txn::txn_desc& t,
+                              txn::frag_host& h) {
+  switch (static_cast<bank::logic>(f.logic)) {
+    case bank::check_source: {
+      const auto row = h.read_row(f, t);
+      if (row.empty()) return txn::frag_status::abort;
+      return storage::read_u64(row, 0) < f.aux ? txn::frag_status::abort
+                                               : txn::frag_status::ok;
+    }
+    case bank::debit: {
+      auto row = h.update_row(f, t);
+      if (row.empty()) return txn::frag_status::ok;
+      storage::write_u64(row, 0, storage::read_u64(row, 0) - f.aux);
+      return txn::frag_status::ok;
+    }
+    case bank::credit: {
+      auto row = h.update_row(f, t);
+      if (row.empty()) return txn::frag_status::ok;
+      storage::write_u64(row, 0, storage::read_u64(row, 0) + f.aux);
+      return txn::frag_status::ok;
+    }
+  }
+  return txn::frag_status::ok;
+}
+
+}  // namespace
+
+bank::bank(bank_config cfg)
+    : cfg_(cfg), proc_("bank-transfer", &run_fragment, 1) {}
+
+void bank::load(storage::database& db) {
+  auto& tab = db.create_table("account", account_schema(), cfg_.accounts + 1);
+  table_ = tab.id();
+  std::vector<std::byte> row(tab.layout().row_size());
+  for (std::uint64_t a = 0; a < cfg_.accounts; ++a) {
+    std::span<std::byte> s(row);
+    storage::write_u64(s, 0, cfg_.initial_balance);
+    tab.insert(a, row);
+  }
+}
+
+std::unique_ptr<txn::txn_desc> bank::make_txn(common::rng& r) {
+  auto t = std::make_unique<txn::txn_desc>();
+  t->proc = &proc_;
+
+  const std::uint64_t src = r.next_below(cfg_.accounts);
+  std::uint64_t dst = r.next_below(cfg_.accounts);
+  if (dst == src) dst = (dst + 1) % cfg_.accounts;
+  const std::uint64_t amount = 1 + r.next_below(cfg_.max_transfer);
+
+  const auto part = [this](std::uint64_t a) {
+    return static_cast<part_id_t>(a % cfg_.partitions);
+  };
+
+  txn::fragment check;
+  check.table = table_;
+  check.key = src;
+  check.part = part(src);
+  check.kind = txn::op_kind::read;
+  check.abortable = true;
+  check.logic = check_source;
+  check.aux = amount;
+  check.idx = 0;
+  t->frags.push_back(check);
+
+  txn::fragment deb;
+  deb.table = table_;
+  deb.key = src;
+  deb.part = part(src);
+  deb.kind = txn::op_kind::update;
+  deb.logic = debit;
+  deb.aux = amount;
+  deb.idx = 1;
+  t->frags.push_back(deb);
+
+  txn::fragment cred;
+  cred.table = table_;
+  cred.key = dst;
+  cred.part = part(dst);
+  cred.kind = txn::op_kind::update;
+  cred.logic = credit;
+  cred.aux = amount;
+  cred.idx = 2;
+  t->frags.push_back(cred);
+
+  return t;
+}
+
+std::uint64_t bank::total_balance(const storage::database& db) const {
+  const auto& tab = db.at(table_);
+  std::uint64_t sum = 0;
+  tab.for_each_live([&](key_t, storage::row_id_t rid) {
+    sum += storage::read_u64(tab.row(rid), 0);
+  });
+  return sum;
+}
+
+}  // namespace quecc::wl

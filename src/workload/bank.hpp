@@ -1,0 +1,51 @@
+// Bank micro-workload: classic transfer transactions with an abortable
+// balance check and a conserved-total invariant.
+//
+// Used by the property-test suite (sum of balances is constant under every
+// engine, isolation level, and execution model) and by the bank_audit
+// example. A transfer is three fragments:
+//   f0 (abortable read)  — abort when source balance < amount
+//   f1 (update)          — source -= amount
+//   f2 (update)          — destination += amount
+// which exercises commit dependencies (f1/f2 depend on f0's verdict) and,
+// under speculative execution, cascading aborts across transfers.
+#pragma once
+
+#include "txn/procedure.hpp"
+#include "workload/workload.hpp"
+
+namespace quecc::wl {
+
+struct bank_config {
+  std::uint64_t accounts = 4096;
+  std::uint64_t initial_balance = 1000;
+  std::uint64_t max_transfer = 1500;  ///< > initial balance => real aborts
+  part_id_t partitions = 4;
+};
+
+class bank final : public workload {
+ public:
+  explicit bank(bank_config cfg);
+
+  const char* name() const noexcept override { return "bank"; }
+  void load(storage::database& db) override;
+  std::unique_ptr<txn::txn_desc> make_txn(common::rng& r) override;
+
+  const bank_config& cfg() const noexcept { return cfg_; }
+
+  /// Invariant: equals accounts * initial_balance forever.
+  std::uint64_t total_balance(const storage::database& db) const;
+
+  enum logic : std::uint16_t {
+    check_source = 0,  ///< abortable: abort when balance < aux
+    debit = 1,         ///< balance -= aux
+    credit = 2,        ///< balance += aux
+  };
+
+ private:
+  bank_config cfg_;
+  txn::procedure proc_;
+  table_id_t table_ = 0;
+};
+
+}  // namespace quecc::wl

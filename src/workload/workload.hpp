@@ -1,0 +1,43 @@
+// Workload interface: loads a schema + initial data and generates planned
+// transactions (fragments, dependencies, arguments) for the engines.
+//
+// Generators are deterministic functions of their seed, which is what lets
+// the test suite compare engines on identical batches and re-run batches
+// for determinism checks. A workload object owns its procedure instances,
+// so it must outlive every batch generated from it.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "storage/database.hpp"
+#include "txn/batch.hpp"
+
+namespace quecc::wl {
+
+class workload {
+ public:
+  virtual ~workload() = default;
+
+  virtual const char* name() const noexcept = 0;
+
+  /// Create tables and load the initial database population.
+  virtual void load(storage::database& db) = 0;
+
+  /// Generate one planned transaction. Generators may carry state that the
+  /// transaction's *execution* is expected to reach (e.g. TPC-C order-id
+  /// assignment), which is sound because every engine in the repository
+  /// produces sequence-order-equivalent results for committed work.
+  virtual std::unique_ptr<txn::txn_desc> make_txn(common::rng& r) = 0;
+
+  /// Convenience: a batch of `n` transactions, validated.
+  txn::batch make_batch(common::rng& r, std::uint32_t n,
+                        std::uint32_t batch_id = 0) {
+    txn::batch b(batch_id);
+    for (std::uint32_t i = 0; i < n; ++i) b.add(make_txn(r));
+    b.validate();
+    return b;
+  }
+};
+
+}  // namespace quecc::wl

@@ -1,0 +1,72 @@
+// YCSB workload (Cooper et al., SoCC'10) — the paper's micro-benchmark.
+//
+// One "usertable" of fixed-size rows; transactions perform `ops_per_txn`
+// point operations on zipf-distributed keys. Knobs map directly onto the
+// paper's experimental axes:
+//   * zipf_theta            — contention (Section 2.1's high-contention axis)
+//   * multi_partition_ratio — Table 2 row 1's multi-partition workload
+//   * read_ratio            — read/write mix
+//   * dependent_ops         — chains data dependencies between a txn's ops
+//                             (exercises intra-transaction parallelism)
+//   * abort_ratio           — fraction of txns carrying an abortable check
+//                             that fires (exercises speculation recovery)
+#pragma once
+
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/zipf.hpp"
+#include "txn/procedure.hpp"
+#include "workload/workload.hpp"
+
+namespace quecc::wl {
+
+struct ycsb_config {
+  std::uint64_t table_size = 1 << 18;
+  std::uint32_t ops_per_txn = 10;
+  double read_ratio = 0.5;
+  double zipf_theta = 0.0;
+  part_id_t partitions = 4;
+  /// Fraction of transactions whose keys span `mp_parts` partitions;
+  /// the rest stay within one home partition (H-Store's sweet spot).
+  double multi_partition_ratio = 0.0;
+  std::uint32_t mp_parts = 2;
+  /// Writes become read-modify-writes when true (blind writes otherwise).
+  bool rmw = true;
+  /// Op i's written value depends on op i-1's read (data dependencies).
+  bool dependent_ops = false;
+  /// Fraction of transactions that deterministically abort mid-way.
+  double abort_ratio = 0.0;
+};
+
+class ycsb final : public workload {
+ public:
+  explicit ycsb(ycsb_config cfg);
+
+  const char* name() const noexcept override { return "ycsb"; }
+  void load(storage::database& db) override;
+  std::unique_ptr<txn::txn_desc> make_txn(common::rng& r) override;
+
+  const ycsb_config& cfg() const noexcept { return cfg_; }
+
+  /// Sum of every row's FIELD0 — a cheap workload-level invariant used by
+  /// tests (RMW deltas are generated to cancel out when requested).
+  std::uint64_t field0_sum(const storage::database& db) const;
+
+  // Fragment logic selectors (public for tests).
+  enum logic : std::uint16_t {
+    op_read = 0,       ///< read FIELD0 -> output slot
+    op_write = 1,      ///< FIELD0 = aux
+    op_rmw = 2,        ///< FIELD0 += aux -> output slot
+    op_dep_write = 3,  ///< FIELD0 = input-slot value + aux -> output slot
+    op_abort_check = 4 ///< abortable read: aborts when aux != 0
+  };
+
+ private:
+  ycsb_config cfg_;
+  common::zipf_generator zipf_;
+  txn::procedure proc_;
+  table_id_t table_ = 0;
+};
+
+}  // namespace quecc::wl

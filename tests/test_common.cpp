@@ -1,0 +1,204 @@
+// Unit tests: common substrate (rng, zipf, spinlock, stats, config, pool).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/batch_pool.hpp"
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/spinlock.hpp"
+#include "common/stats.hpp"
+#include "common/thread_util.hpp"
+#include "common/zipf.hpp"
+
+namespace quecc {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  common::rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  common::rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  common::rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  common::rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.next_in(5, 15);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 15u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 11u);  // all values hit
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  common::rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Zipf, UniformWhenThetaZero) {
+  common::rng r(3);
+  common::zipf_generator z(1000, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) counts[z.next(r) / 100] += 1;
+  for (const int c : counts) {
+    EXPECT_GT(c, 8000);
+    EXPECT_LT(c, 12000);
+  }
+}
+
+TEST(Zipf, SkewConcentratesOnHotKeys) {
+  common::rng r(3);
+  common::zipf_generator z(10000, 0.99);
+  std::uint64_t hot = 0, total = 100000;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    if (z.next(r) < 100) ++hot;  // hottest 1% of keys
+  }
+  // Under theta=0.99, the top 1% draws should take far more than 1%.
+  EXPECT_GT(hot, total / 4);
+}
+
+TEST(Zipf, StaysInDomain) {
+  common::rng r(11);
+  common::zipf_generator z(50, 0.9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.next(r), 50u);
+}
+
+TEST(Spinlock, MutualExclusion) {
+  common::spinlock lock;
+  std::uint64_t counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20000; ++i) {
+        std::scoped_lock guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, 80000u);
+}
+
+TEST(Spinlock, TryLock) {
+  common::spinlock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Histogram, PercentilesOrdered) {
+  common::latency_histogram h;
+  for (std::uint64_t ns = 100; ns <= 100000; ns += 100) h.record_nanos(ns);
+  EXPECT_LE(h.percentile_nanos(50), h.percentile_nanos(99));
+  EXPECT_GT(h.mean_nanos(), 0.0);
+  EXPECT_EQ(h.count(), 1000u);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  common::latency_histogram a, b;
+  a.record_nanos(1000);
+  b.record_nanos(2000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  common::latency_histogram h;
+  EXPECT_EQ(h.percentile_nanos(99), 0.0);
+  EXPECT_EQ(h.mean_nanos(), 0.0);
+}
+
+TEST(RunMetrics, ThroughputAndMerge) {
+  common::run_metrics a;
+  a.committed = 1000;
+  a.elapsed_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(a.throughput(), 500.0);
+  common::run_metrics b;
+  b.committed = 500;
+  b.aborted = 5;
+  a.merge(b);
+  EXPECT_EQ(a.committed, 1500u);
+  EXPECT_EQ(a.aborted, 5u);
+}
+
+TEST(Config, ValidateRejectsNonsense) {
+  common::config c;
+  c.planner_threads = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = common::config{};
+  c.batch_size = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = common::config{};
+  c.nodes = 8;
+  c.partitions = 4;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = common::config{};
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Config, Describe) {
+  common::config c;
+  EXPECT_NE(c.describe().find("speculative"), std::string::npos);
+  c.execution = common::exec_model::conservative;
+  c.iso = common::isolation::read_committed;
+  EXPECT_NE(c.describe().find("conservative"), std::string::npos);
+  EXPECT_NE(c.describe().find("read-committed"), std::string::npos);
+}
+
+TEST(BatchPool, RunsJobOncePerWorkerPerRound) {
+  std::atomic<int> runs{0};
+  common::batch_pool pool(3, [&](unsigned) { runs.fetch_add(1); }, "t");
+  pool.run_round();
+  EXPECT_EQ(runs.load(), 3);
+  pool.run_round();
+  EXPECT_EQ(runs.load(), 6);
+}
+
+TEST(BatchPool, SplitPhaseRound) {
+  std::atomic<int> runs{0};
+  common::batch_pool pool(2, [&](unsigned) { runs.fetch_add(1); }, "t");
+  pool.begin_round();
+  pool.end_round();
+  EXPECT_EQ(runs.load(), 2);
+}
+
+TEST(ThreadUtil, HardwareThreadsPositive) {
+  EXPECT_GE(common::hardware_threads(), 1u);
+}
+
+TEST(ThreadUtil, SpinForMicrosElapses) {
+  common::stopwatch sw;
+  common::spin_for_micros(500);
+  EXPECT_GE(sw.nanos(), 400'000u);
+}
+
+TEST(Types, TxnIdPacking) {
+  const auto id = make_txn_id(7, 1234);
+  EXPECT_EQ(txn_id_batch(id), 7u);
+  EXPECT_EQ(txn_id_seq(id), 1234u);
+}
+
+}  // namespace
+}  // namespace quecc

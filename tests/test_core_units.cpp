@@ -1,0 +1,359 @@
+// Unit tests: planner and executor mechanics in isolation — queue routing
+// invariants, priority order, read-queue eligibility, and the executor's
+// dependency-wait/skip behaviour.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "core/engine.hpp"
+#include "core/planner.hpp"
+#include "test_util.hpp"
+#include "workload/ycsb.hpp"
+
+namespace quecc {
+namespace {
+
+using core::frag_entry;
+using core::plan_output;
+using core::planner;
+
+wl::ycsb make_workload(part_id_t parts = 4, double read_ratio = 0.5) {
+  wl::ycsb_config cfg;
+  cfg.table_size = 4096;
+  cfg.partitions = parts;
+  cfg.read_ratio = read_ratio;
+  return wl::ycsb(cfg);
+}
+
+common::config engine_cfg(worker_id_t p, worker_id_t e) {
+  common::config cfg;
+  cfg.planner_threads = p;
+  cfg.executor_threads = e;
+  return cfg;
+}
+
+TEST(Planner, EveryFragmentRoutedExactlyOnce) {
+  auto w = make_workload();
+  auto db = testutil::make_loaded_db(w);
+  common::rng r(1);
+  auto b = w.make_batch(r, 100);
+
+  const auto cfg = engine_cfg(2, 3);
+  std::size_t routed = 0, expected = 0;
+  for (const auto& t : b) expected += t->frags.size();
+  for (worker_id_t p = 0; p < 2; ++p) {
+    planner pl(p, cfg, *db);
+    plan_output out;
+    pl.plan(b, out);
+    for (const auto& q : out.conflict) routed += q.size();
+    for (const auto& q : out.reads) routed += q.size();
+    EXPECT_EQ(out.planned_frags,
+              std::accumulate(out.conflict.begin(), out.conflict.end(),
+                              std::size_t{0},
+                              [](std::size_t acc, const auto& q) {
+                                return acc + q.size();
+                              }) +
+                  std::accumulate(out.reads.begin(), out.reads.end(),
+                                  std::size_t{0},
+                                  [](std::size_t acc, const auto& q) {
+                                    return acc + q.size();
+                                  }));
+  }
+  EXPECT_EQ(routed, expected);
+}
+
+TEST(Planner, SameRecordAlwaysSameExecutor) {
+  auto w = make_workload();
+  auto db = testutil::make_loaded_db(w);
+  common::rng r(2);
+  auto b = w.make_batch(r, 300);
+
+  const auto cfg = engine_cfg(1, 3);
+  planner pl(0, cfg, *db);
+  plan_output out;
+  pl.plan(b, out);
+
+  // Conflict dependencies require: every fragment of a given (table, key)
+  // lands in the same executor's queue.
+  std::map<std::pair<table_id_t, key_t>, std::size_t> home;
+  for (std::size_t e = 0; e < out.conflict.size(); ++e) {
+    for (const frag_entry& fe : out.conflict[e]) {
+      const auto rec = std::make_pair(fe.f->table, fe.f->key);
+      auto [it, fresh] = home.emplace(rec, e);
+      if (!fresh) EXPECT_EQ(it->second, e) << "record split across queues";
+    }
+  }
+}
+
+TEST(Planner, QueueOrderFollowsSequenceOrder) {
+  auto w = make_workload();
+  auto db = testutil::make_loaded_db(w);
+  common::rng r(3);
+  auto b = w.make_batch(r, 200);
+
+  const auto cfg = engine_cfg(1, 2);
+  planner pl(0, cfg, *db);
+  plan_output out;
+  pl.plan(b, out);
+
+  for (const auto& q : out.conflict) {
+    seq_t last = 0;
+    for (const frag_entry& fe : q) {
+      EXPECT_GE(fe.t->seq, last);  // FIFO = batch order per queue
+      last = fe.t->seq;
+    }
+  }
+}
+
+TEST(Planner, ContiguousSlicesCoverBatch) {
+  auto w = make_workload();
+  auto db = testutil::make_loaded_db(w);
+  common::rng r(4);
+  auto b = w.make_batch(r, 100);
+
+  const auto cfg = engine_cfg(3, 2);
+  std::vector<std::uint8_t> seen(b.size(), 0);
+  for (worker_id_t p = 0; p < 3; ++p) {
+    planner pl(p, cfg, *db);
+    plan_output out;
+    pl.plan(b, out);
+    for (const auto& q : out.conflict) {
+      for (const frag_entry& fe : q) seen[fe.t->seq] = 1;
+    }
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_TRUE(seen[i]) << "txn " << i << " planned by nobody";
+  }
+}
+
+TEST(Planner, PlanningResolvesRowIds) {
+  auto w = make_workload();
+  auto db = testutil::make_loaded_db(w);
+  common::rng r(5);
+  auto b = w.make_batch(r, 50);
+
+  const auto cfg = engine_cfg(1, 1);
+  planner pl(0, cfg, *db);
+  plan_output out;
+  pl.plan(b, out);
+  for (const auto& t : b) {
+    for (const auto& f : t->frags) {
+      if (f.kind != txn::op_kind::insert) {
+        EXPECT_NE(f.rid, storage::kNoRow);  // YCSB keys all pre-loaded
+      }
+    }
+  }
+}
+
+TEST(Planner, ReadCommittedSplitsPureReads) {
+  auto w = make_workload(4, /*read_ratio=*/0.5);
+  auto db = testutil::make_loaded_db(w);
+  common::rng r(6);
+  auto b = w.make_batch(r, 200);
+
+  auto cfg = engine_cfg(1, 2);
+  cfg.iso = common::isolation::read_committed;
+  planner pl(0, cfg, *db);
+  plan_output out;
+  pl.plan(b, out);
+
+  std::size_t read_q = 0, conflict_reads = 0, conflict_writes = 0;
+  for (const auto& q : out.reads) {
+    read_q += q.size();
+    for (const frag_entry& fe : q) {
+      EXPECT_EQ(fe.f->kind, txn::op_kind::read);
+      EXPECT_FALSE(fe.f->abortable);
+    }
+  }
+  for (const auto& q : out.conflict) {
+    for (const frag_entry& fe : q) {
+      (fe.f->kind == txn::op_kind::read ? conflict_reads : conflict_writes) +=
+          1;
+    }
+  }
+  EXPECT_GT(read_q, 0u);
+  EXPECT_GT(conflict_writes, 0u);
+}
+
+TEST(Planner, DependentReadsStayInConflictQueues) {
+  // A read whose output feeds a write must not move to the read queues
+  // (liveness: conflict executors never wait on unclaimed read queues).
+  wl::ycsb_config wcfg;
+  wcfg.table_size = 4096;
+  wcfg.dependent_ops = true;
+  wcfg.read_ratio = 0.5;
+  wl::ycsb w(wcfg);
+  auto db = testutil::make_loaded_db(w);
+  common::rng r(7);
+  auto b = w.make_batch(r, 200);
+
+  auto cfg = engine_cfg(1, 2);
+  cfg.iso = common::isolation::read_committed;
+  planner pl(0, cfg, *db);
+  plan_output out;
+  pl.plan(b, out);
+
+  for (const auto& q : out.reads) {
+    for (const frag_entry& fe : q) {
+      // If this read produced a slot, no later updating fragment of the
+      // same txn may consume it.
+      if (fe.f->output_slot == txn::kNoSlot) continue;
+      for (const auto& g : fe.t->frags) {
+        if (!g.updates_database()) continue;
+        EXPECT_EQ(g.input_mask & (1ull << fe.f->output_slot), 0u)
+            << "read feeding a writer escaped to a read queue";
+      }
+    }
+  }
+}
+
+// --- executor behaviour through the engine ----------------------------------
+
+TEST(Executor, SkipsAllFragmentsOfAbortedTxn) {
+  // A txn whose first abortable fragment fires must leave every later
+  // fragment without effect — verified via the state hash.
+  wl::ycsb_config wcfg;
+  wcfg.table_size = 128;
+  wcfg.ops_per_txn = 6;
+  wcfg.abort_ratio = 1.0;  // every txn doomed
+  wcfg.read_ratio = 0.0;
+  wl::ycsb w(wcfg);
+  auto db = testutil::make_loaded_db(w);
+  const auto before = db->state_hash();
+
+  common::rng r(8);
+  auto b = w.make_batch(r, 100);
+  for (auto m : {common::exec_model::speculative,
+                 common::exec_model::conservative}) {
+    b.reset_runtime();
+    auto cfg = engine_cfg(2, 2);
+    cfg.execution = m;
+    core::quecc_engine eng(*db, cfg);
+    common::run_metrics metrics;
+    eng.run_batch(b, metrics);
+    EXPECT_EQ(metrics.aborted, 100u);
+    EXPECT_EQ(db->state_hash(), before) << common::to_string(m);
+  }
+}
+
+TEST(Executor, ExecTimeLookupForInBatchInserts) {
+  // A fragment planned against a record that does not exist yet (created
+  // by an earlier txn in the same batch) resolves at execution time.
+  wl::ycsb_config wcfg;
+  wcfg.table_size = 64;
+  wcfg.ops_per_txn = 1;
+  wl::ycsb w(wcfg);
+  auto db = testutil::make_loaded_db(w);
+  const txn::procedure* proc;
+  {
+    common::rng r(1);
+    proc = w.make_txn(r)->proc;
+  }
+
+  const key_t fresh_key = 5000;  // beyond the loaded range
+
+  static constexpr auto insert_logic =
+      [](const txn::fragment& f, txn::txn_desc& t,
+         txn::frag_host& h) -> txn::frag_status {
+    auto row = h.insert_row(f, t);
+    if (!row.empty()) storage::write_u64(row, 0, f.aux);
+    return txn::frag_status::ok;
+  };
+  static const txn::procedure insert_proc("insert", +insert_logic, 1);
+
+  auto inserter = std::make_unique<txn::txn_desc>();
+  inserter->proc = &insert_proc;
+  {
+    txn::fragment f;
+    f.table = 0;
+    f.key = fresh_key;
+    f.part = 0;
+    f.kind = txn::op_kind::insert;
+    f.aux = 4242;
+    inserter->frags.push_back(f);
+  }
+  auto reader = std::make_unique<txn::txn_desc>();
+  reader->proc = proc;
+  {
+    txn::fragment f;
+    f.table = 0;
+    f.key = fresh_key;
+    f.part = 0;
+    f.kind = txn::op_kind::read;
+    f.logic = wl::ycsb::op_read;
+    f.output_slot = 0;
+    reader->frags.push_back(f);
+  }
+
+  txn::batch b;
+  b.add(std::move(inserter));
+  txn::txn_desc& rd = b.add(std::move(reader));
+  b.validate();
+
+  core::quecc_engine eng(*db, engine_cfg(1, 2));
+  common::run_metrics m;
+  eng.run_batch(b, m);
+  EXPECT_EQ(m.committed, 2u);
+  EXPECT_EQ(rd.slot_value(0), 4242u);  // saw the same-batch insert
+}
+
+namespace erase_proc {
+txn::frag_status run(const txn::fragment& f, txn::txn_desc& t,
+                     txn::frag_host& h) {
+  h.erase_row(f, t);
+  return txn::frag_status::ok;
+}
+}  // namespace erase_proc
+
+TEST(Executor, EraseThenReadMisses) {
+  wl::ycsb_config wcfg;
+  wcfg.table_size = 64;
+  wcfg.ops_per_txn = 1;
+  wl::ycsb w(wcfg);
+  auto db = testutil::make_loaded_db(w);
+
+  txn::procedure proc("erase", &erase_proc::run, 1);
+  auto eraser = std::make_unique<txn::txn_desc>();
+  eraser->proc = &proc;
+  {
+    txn::fragment f;
+    f.table = 0;
+    f.key = 7;
+    f.part = 0;
+    f.kind = txn::op_kind::erase;
+    eraser->frags.push_back(f);
+  }
+  txn::batch b;
+  b.add(std::move(eraser));
+  b.validate();
+
+  core::quecc_engine eng(*db, engine_cfg(1, 1));
+  common::run_metrics m;
+  eng.run_batch(b, m);
+  EXPECT_EQ(db->at(0).lookup(7), storage::kNoRow);
+  EXPECT_EQ(db->at(0).live_rows(), 63u);
+}
+
+TEST(Engine, PhaseStatspopulated) {
+  auto w = make_workload();
+  auto db = testutil::make_loaded_db(w);
+  common::rng r(9);
+  auto b = w.make_batch(r, 256);
+
+  core::quecc_engine eng(*db, engine_cfg(2, 2));
+  common::run_metrics m;
+  eng.run_batch(b, m);
+  const auto& ph = eng.last_phases();
+  EXPECT_GT(ph.plan_seconds, 0.0);
+  EXPECT_GT(ph.exec_seconds, 0.0);
+  EXPECT_EQ(ph.planned_fragments, [&] {
+    std::uint64_t n = 0;
+    for (const auto& t : b) n += t->frags.size();
+    return n;
+  }());
+  EXPECT_EQ(ph.queues, 4u);
+}
+
+}  // namespace
+}  // namespace quecc

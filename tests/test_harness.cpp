@@ -1,0 +1,207 @@
+// Unit tests: harness (runner, report formatting) and targeted
+// speculation-recovery scenarios on hand-built batches.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "test_util.hpp"
+#include "workload/ycsb.hpp"
+
+namespace quecc {
+namespace {
+
+TEST(Report, TablePrinterAligns) {
+  harness::table_printer t({"name", "value"});
+  t.row({"short", "1"});
+  t.row({"a-much-longer-name", "23456"});
+  const auto s = t.str();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("a-much-longer-name"), std::string::npos);
+  // Every line has the same width.
+  std::size_t first_len = s.find('\n');
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const auto next = s.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(Report, RateFormatting) {
+  EXPECT_EQ(harness::format_rate(1'500'000), "1.50M txn/s");
+  EXPECT_EQ(harness::format_rate(2'500), "2.5K txn/s");
+  EXPECT_EQ(harness::format_rate(42), "42 txn/s");
+}
+
+TEST(Report, FactorFormatting) {
+  EXPECT_EQ(harness::format_factor(22.4), "22x");
+  EXPECT_EQ(harness::format_factor(2.97), "2.97x");
+}
+
+TEST(Runner, AggregatesAcrossBatches) {
+  wl::ycsb_config wcfg;
+  wcfg.table_size = 1024;
+  wl::ycsb w(wcfg);
+  storage::database db;
+  w.load(db);
+
+  common::config cfg;
+  cfg.planner_threads = 1;
+  cfg.executor_threads = 1;
+  core::quecc_engine eng(db, cfg);
+
+  common::rng r(1);
+  const auto res = harness::run_workload(eng, w, db, r, 3, 100);
+  EXPECT_EQ(res.metrics.committed, 300u);
+  EXPECT_EQ(res.metrics.batches, 3u);
+  EXPECT_EQ(res.final_state_hash, db.state_hash());
+  EXPECT_GT(res.metrics.elapsed_seconds, 0.0);
+}
+
+// --- targeted speculation-recovery scenarios --------------------------------
+
+// Build a 3-txn chain on one record: T0 RMWs key K and aborts afterwards
+// (abort check planted later in T0), T1 reads K (dirty under speculation),
+// T2 reads what T1 wrote elsewhere. Verifies cascade depth 2.
+TEST(SpecRecovery, CascadeChainsAcrossRecords) {
+  wl::ycsb_config wcfg;
+  wcfg.table_size = 256;
+  wcfg.ops_per_txn = 2;
+  wl::ycsb w(wcfg);
+  auto db = testutil::make_loaded_db(w);
+  const txn::procedure* proc;
+  {
+    common::rng r(1);
+    proc = w.make_txn(r)->proc;
+  }
+
+  auto mk = [&](std::initializer_list<txn::fragment> frags) {
+    auto t = std::make_unique<txn::txn_desc>();
+    t->proc = proc;
+    std::uint16_t idx = 0;
+    for (auto f : frags) {
+      f.idx = idx++;
+      t->frags.push_back(f);
+    }
+    return t;
+  };
+  auto frag = [](key_t key, txn::op_kind kind, std::uint16_t logic,
+                 std::uint64_t aux, std::uint16_t out) {
+    txn::fragment f;
+    f.table = 0;
+    f.key = key;
+    f.part = static_cast<part_id_t>(key % 2);
+    f.kind = kind;
+    f.logic = logic;
+    f.aux = aux;
+    f.output_slot = out;
+    return f;
+  };
+
+  // T0: abortable check (doomed, aux=1) then RMW on key 10.
+  auto check = frag(10, txn::op_kind::read, wl::ycsb::op_abort_check, 1,
+                    txn::kNoSlot);
+  check.abortable = true;
+  auto t0 = mk({check,
+                frag(10, txn::op_kind::update, wl::ycsb::op_rmw, 100, 0)});
+  // T1: RMW key 10 (reads T0's dirty write), RMW key 20.
+  auto t1 = mk({frag(10, txn::op_kind::update, wl::ycsb::op_rmw, 7, 0),
+                frag(20, txn::op_kind::update, wl::ycsb::op_rmw, 3, 1)});
+  // T2: reads key 20 (poisoned transitively through T1).
+  auto t2 = mk({frag(20, txn::op_kind::read, wl::ycsb::op_read, 0, 0)});
+
+  txn::batch b;
+  txn::txn_desc& rt0 = b.add(std::move(t0));
+  txn::txn_desc& rt1 = b.add(std::move(t1));
+  txn::txn_desc& rt2 = b.add(std::move(t2));
+  b.validate();
+
+  common::config cfg;
+  cfg.planner_threads = 1;
+  cfg.executor_threads = 2;
+  cfg.execution = common::exec_model::speculative;
+  core::quecc_engine eng(*db, cfg);
+  common::run_metrics m;
+  eng.run_batch(b, m);
+
+  EXPECT_TRUE(rt0.aborted());
+  EXPECT_FALSE(rt1.aborted());
+  EXPECT_FALSE(rt2.aborted());
+
+  // Final state must be as if T0 never ran: key10 = 7, key20 = 3, and T2
+  // must have read T1's committed value.
+  const auto& tab = db->at(0);
+  EXPECT_EQ(storage::read_u64(tab.row(tab.lookup(10)), 0), 7u);
+  EXPECT_EQ(storage::read_u64(tab.row(tab.lookup(20)), 0), 3u);
+  EXPECT_EQ(rt2.slot_value(0), 3u);
+  EXPECT_EQ(m.aborted, 1u);
+  EXPECT_EQ(m.committed, 2u);
+}
+
+// A committed transaction that only *blind-writes* after an aborted writer
+// still converges to the serial outcome (taint-by-write is handled).
+TEST(SpecRecovery, BlindWriteAfterAbortedWriter) {
+  wl::ycsb_config wcfg;
+  wcfg.table_size = 64;
+  wcfg.ops_per_txn = 1;
+  wl::ycsb w(wcfg);
+  auto db = testutil::make_loaded_db(w);
+  auto db_serial = db->clone();
+  const txn::procedure* proc;
+  {
+    common::rng r(1);
+    proc = w.make_txn(r)->proc;
+  }
+
+  auto frag = [](key_t key, txn::op_kind kind, std::uint16_t logic,
+                 std::uint64_t aux) {
+    txn::fragment f;
+    f.table = 0;
+    f.key = key;
+    f.part = 0;
+    f.kind = kind;
+    f.logic = logic;
+    f.aux = aux;
+    return f;
+  };
+
+  auto t0 = std::make_unique<txn::txn_desc>();
+  t0->proc = proc;
+  auto check = frag(5, txn::op_kind::read, wl::ycsb::op_abort_check, 1);
+  check.abortable = true;
+  check.idx = 0;
+  t0->frags.push_back(check);
+  auto w0 = frag(5, txn::op_kind::update, wl::ycsb::op_rmw, 50);
+  w0.idx = 1;
+  w0.output_slot = 0;
+  t0->frags.push_back(w0);
+
+  auto t1 = std::make_unique<txn::txn_desc>();
+  t1->proc = proc;
+  auto w1 = frag(5, txn::op_kind::update, wl::ycsb::op_write, 999);
+  w1.idx = 0;
+  t1->frags.push_back(w1);
+
+  txn::batch b;
+  b.add(std::move(t0));
+  b.add(std::move(t1));
+  b.validate();
+
+  common::config cfg;
+  cfg.planner_threads = 1;
+  cfg.executor_threads = 1;
+  cfg.execution = common::exec_model::speculative;
+  core::quecc_engine eng(*db, cfg);
+  common::run_metrics m;
+  eng.run_batch(b, m);
+
+  testutil::replay_in_seq_order(*db_serial, b);
+  EXPECT_EQ(db->state_hash(), db_serial->state_hash());
+  const auto& tab = db->at(0);
+  EXPECT_EQ(storage::read_u64(tab.row(tab.lookup(5)), 0), 999u);
+}
+
+}  // namespace
+}  // namespace quecc

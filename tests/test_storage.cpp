@@ -1,0 +1,177 @@
+// Unit tests: storage substrate (schema, index, table, database, versions).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "storage/database.hpp"
+#include "storage/dual_version.hpp"
+#include "storage/hash_index.hpp"
+#include "storage/schema.hpp"
+
+namespace quecc::storage {
+namespace {
+
+schema two_col_schema() {
+  return schema({{"A", col_type::u64, 8}, {"B", col_type::bytes, 12}});
+}
+
+TEST(Schema, OffsetsAndRowSize) {
+  const auto s = two_col_schema();
+  EXPECT_EQ(s.row_size(), 20u);
+  EXPECT_EQ(s.offset(0), 0u);
+  EXPECT_EQ(s.offset(1), 8u);
+  EXPECT_EQ(s.index_of("B"), 1u);
+  EXPECT_THROW(s.index_of("C"), std::out_of_range);
+}
+
+TEST(Schema, NumericAccessorsRoundTrip) {
+  std::vector<std::byte> buf(32);
+  std::span<std::byte> row(buf);
+  write_u64(row, 0, 0xdeadbeefull);
+  write_i64(row, 8, -42);
+  write_f64(row, 16, 3.25);
+  EXPECT_EQ(read_u64(row, 0), 0xdeadbeefull);
+  EXPECT_EQ(read_i64(row, 8), -42);
+  EXPECT_DOUBLE_EQ(read_f64(row, 16), 3.25);
+}
+
+TEST(Schema, EmptySchemaRejected) {
+  EXPECT_THROW(schema(std::vector<column>{}), std::invalid_argument);
+}
+
+TEST(HashIndex, InsertLookupErase) {
+  hash_index idx(64);
+  EXPECT_TRUE(idx.insert(5, 50));
+  EXPECT_FALSE(idx.insert(5, 51));  // duplicate
+  EXPECT_EQ(idx.lookup(5), 50u);
+  EXPECT_EQ(idx.lookup(6), kNoRow);
+  EXPECT_TRUE(idx.erase(5));
+  EXPECT_FALSE(idx.erase(5));
+  EXPECT_EQ(idx.lookup(5), kNoRow);
+}
+
+TEST(HashIndex, ManyKeys) {
+  hash_index idx(1000);
+  for (key_t k = 0; k < 5000; ++k) ASSERT_TRUE(idx.insert(k * 7, k));
+  EXPECT_EQ(idx.size(), 5000u);
+  for (key_t k = 0; k < 5000; ++k) ASSERT_EQ(idx.lookup(k * 7), k);
+}
+
+TEST(HashIndex, ConcurrentInsertsDisjointKeys) {
+  hash_index idx(1 << 14);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&idx, t] {
+      for (key_t k = 0; k < 4000; ++k) idx.insert(k * 4 + t, k);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(idx.size(), 16000u);
+}
+
+TEST(Table, InsertAndRead) {
+  table t(0, "t", two_col_schema(), 128);
+  std::vector<std::byte> payload(20);
+  std::span<std::byte> p(payload);
+  write_u64(p, 0, 99);
+  const auto rid = t.insert(7, payload);
+  ASSERT_NE(rid, kNoRow);
+  EXPECT_EQ(t.lookup(7), rid);
+  EXPECT_EQ(read_u64(t.row(rid), 0), 99u);
+  EXPECT_EQ(t.live_rows(), 1u);
+}
+
+TEST(Table, DuplicateInsertReturnsNoRow) {
+  table t(0, "t", two_col_schema(), 128);
+  std::vector<std::byte> payload(20);
+  EXPECT_NE(t.insert(7, payload), kNoRow);
+  EXPECT_EQ(t.insert(7, payload), kNoRow);
+}
+
+TEST(Table, CapacityExhaustionThrows) {
+  table t(0, "t", two_col_schema(), 2);
+  std::vector<std::byte> payload(20);
+  t.insert(1, payload);
+  t.insert(2, payload);
+  EXPECT_THROW(t.insert(3, payload), std::length_error);
+}
+
+TEST(Table, StateHashIgnoresInsertionOrder) {
+  table a(0, "t", two_col_schema(), 16);
+  table b(0, "t", two_col_schema(), 16);
+  std::vector<std::byte> p1(20), p2(20);
+  write_u64(std::span<std::byte>(p1), 0, 1);
+  write_u64(std::span<std::byte>(p2), 0, 2);
+  a.insert(10, p1);
+  a.insert(20, p2);
+  b.insert(20, p2);
+  b.insert(10, p1);
+  EXPECT_EQ(a.state_hash(), b.state_hash());
+}
+
+TEST(Table, StateHashSeesValueChange) {
+  table a(0, "t", two_col_schema(), 16);
+  std::vector<std::byte> p(20);
+  const auto rid = a.insert(10, p);
+  const auto h0 = a.state_hash();
+  write_u64(a.row(rid), 0, 777);
+  EXPECT_NE(a.state_hash(), h0);
+}
+
+TEST(Table, EraseRemovesFromHashAndIndex) {
+  table a(0, "t", two_col_schema(), 16);
+  std::vector<std::byte> p(20);
+  a.insert(10, p);
+  const auto h_with = a.state_hash();
+  a.erase(10);
+  EXPECT_EQ(a.lookup(10), kNoRow);
+  EXPECT_NE(a.state_hash(), h_with);
+  EXPECT_EQ(a.live_rows(), 0u);
+}
+
+TEST(Database, CatalogResolution) {
+  database db;
+  db.create_table("alpha", two_col_schema(), 8);
+  db.create_table("beta", two_col_schema(), 8);
+  EXPECT_EQ(db.cat().id_of("alpha"), 0);
+  EXPECT_EQ(db.cat().id_of("beta"), 1);
+  EXPECT_EQ(db.cat().name_of(1), "beta");
+  EXPECT_THROW(db.cat().id_of("gamma"), std::out_of_range);
+  EXPECT_THROW(db.create_table("alpha", two_col_schema(), 8),
+               std::invalid_argument);
+}
+
+TEST(Database, CloneMatchesStateHash) {
+  database db;
+  auto& t = db.create_table("t", two_col_schema(), 32);
+  std::vector<std::byte> p(20);
+  for (key_t k = 0; k < 10; ++k) {
+    write_u64(std::span<std::byte>(p), 0, k * 11);
+    t.insert(k, p);
+  }
+  auto copy = db.clone();
+  EXPECT_EQ(copy->state_hash(), db.state_hash());
+  // Mutating the clone must not affect the original.
+  write_u64(copy->at(0).row(copy->at(0).lookup(3)), 0, 999);
+  EXPECT_NE(copy->state_hash(), db.state_hash());
+}
+
+TEST(DualVersion, SnapshotsAndPublishes) {
+  database db;
+  auto& t = db.create_table("t", two_col_schema(), 32);
+  std::vector<std::byte> p(20);
+  write_u64(std::span<std::byte>(p), 0, 5);
+  const auto rid = t.insert(1, p);
+
+  dual_version_store dv(db);
+  EXPECT_EQ(read_u64(dv.committed_row(0, rid), 0), 5u);
+
+  write_u64(t.row(rid), 0, 42);  // dirty the working copy
+  EXPECT_EQ(read_u64(dv.committed_row(0, rid), 0), 5u);  // still old
+
+  dv.publish(db, 0, rid);
+  EXPECT_EQ(read_u64(dv.committed_row(0, rid), 0), 42u);
+}
+
+}  // namespace
+}  // namespace quecc::storage
