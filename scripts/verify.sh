@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Tier-1 verification: configure, build everything, run the full test
+# suite. Exactly what CI runs; keep it in sync with README "Build & test".
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+cd build
+ctest --output-on-failure -j "$(nproc)"

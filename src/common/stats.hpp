@@ -13,6 +13,15 @@
 
 namespace quecc::common {
 
+/// Monotonic clock reading in nanoseconds since an arbitrary epoch. All
+/// latency metrics derive from this one clock choice.
+inline std::uint64_t now_nanos() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 /// Monotonic wall-clock stopwatch.
 class stopwatch {
  public:

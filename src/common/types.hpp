@@ -47,4 +47,17 @@ constexpr seq_t txn_id_seq(txn_id_t id) noexcept {
   return static_cast<seq_t>(id & 0xffffffffu);
 }
 
+/// Stable record-identity hash (splitmix/murmur finalizer) shared by queue
+/// routing (core::planner) and the Calvin lock tables: same (table, key)
+/// must hash the same everywhere, or queue placement and lock identity
+/// would silently disagree if one copy were ever retuned.
+constexpr std::uint64_t record_hash(table_id_t table, key_t key) noexcept {
+  std::uint64_t h =
+      key + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(table) + 1);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 29;
+  return h;
+}
+
 }  // namespace quecc

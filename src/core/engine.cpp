@@ -7,14 +7,38 @@
 
 namespace quecc::core {
 
-namespace {
-std::uint64_t now_nanos() noexcept {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
+
+void pipeline::build(const common::config& cfg, storage::database& db,
+                     storage::dual_version_store* committed) {
+  const bool rc = cfg.iso == common::isolation::read_committed;
+  const worker_id_t planner_n = cfg.planner_threads;
+  const worker_id_t execs = cfg.executor_threads;
+
+  planners.reserve(planner_n);
+  plan_outs.resize(planner_n);
+  for (worker_id_t p = 0; p < planner_n; ++p) {
+    planners.emplace_back(p, cfg, db);
+    // Pre-size queue containers so their addresses are stable for the
+    // engine lifetime; executors hold raw pointers into them.
+    plan_outs[p].resize(execs, rc);
+  }
+
+  executors.reserve(execs);
+  exec_queues.resize(execs);
+  for (worker_id_t e = 0; e < execs; ++e) {
+    executors.push_back(std::make_unique<executor>(e, cfg, db, committed));
+    for (worker_id_t p = 0; p < planner_n; ++p) {
+      exec_queues[e].push_back(&plan_outs[p].conflict[e]);
+    }
+  }
+  if (rc) {
+    for (worker_id_t p = 0; p < planner_n; ++p) {
+      for (worker_id_t e = 0; e < execs; ++e) {
+        read_queues.push_back(&plan_outs[p].reads[e]);
+      }
+    }
+  }
 }
-}  // namespace
 
 quecc_engine::quecc_engine(storage::database& db, const common::config& cfg)
     : db_(db),
@@ -23,38 +47,13 @@ quecc_engine::quecc_engine(storage::database& db, const common::config& cfg)
       sync_(static_cast<std::ptrdiff_t>(cfg.planner_threads) +
             cfg.executor_threads + 1) {
   cfg_.validate();
-  const bool rc = cfg_.iso == common::isolation::read_committed;
-  if (rc) committed_ = std::make_unique<storage::dual_version_store>(db_);
+  if (cfg_.iso == common::isolation::read_committed) {
+    committed_ = std::make_unique<storage::dual_version_store>(db_);
+  }
+  pipe_.build(cfg_, db_, committed_.get());
 
   const worker_id_t planners = cfg_.planner_threads;
   const worker_id_t execs = cfg_.executor_threads;
-
-  planners_.reserve(planners);
-  plan_outs_.resize(planners);
-  for (worker_id_t p = 0; p < planners; ++p) {
-    planners_.emplace_back(p, cfg_, db_);
-    // Pre-size queue containers so their addresses are stable for the
-    // engine lifetime; executors hold raw pointers into them.
-    plan_outs_[p].resize(execs, rc);
-  }
-
-  executors_.reserve(execs);
-  exec_queues_.resize(execs);
-  for (worker_id_t e = 0; e < execs; ++e) {
-    executors_.push_back(
-        std::make_unique<executor>(e, cfg_, db_, committed_.get()));
-    for (worker_id_t p = 0; p < planners; ++p) {
-      exec_queues_[e].push_back(&plan_outs_[p].conflict[e]);
-    }
-  }
-  if (rc) {
-    for (worker_id_t p = 0; p < planners; ++p) {
-      for (worker_id_t e = 0; e < execs; ++e) {
-        read_queues_.push_back(&plan_outs_[p].reads[e]);
-      }
-    }
-  }
-
   threads_.reserve(static_cast<std::size_t>(planners) + execs);
   for (worker_id_t p = 0; p < planners; ++p) {
     threads_.emplace_back([this, p] { planner_main(p); });
@@ -76,7 +75,7 @@ void quecc_engine::planner_main(worker_id_t p) {
   while (true) {
     sync_.arrive_and_wait();  // (1) batch start
     if (stop_.load(std::memory_order_acquire)) return;
-    planners_[p].plan(*current_, plan_outs_[p]);
+    pipe_.planners[p].plan(*current_, pipe_.plan_outs[p]);
     sync_.arrive_and_wait();  // (2) planning complete
     sync_.arrive_and_wait();  // (3) execution complete (idle)
   }
@@ -87,15 +86,15 @@ void quecc_engine::executor_main(worker_id_t e) {
   if (cfg_.pin_threads) {
     common::pin_self_to(cfg_.planner_threads + e);
   }
-  executor& ex = *executors_[e];
+  executor& ex = *pipe_.executors[e];
   while (true) {
     sync_.arrive_and_wait();  // (1) batch start
     if (stop_.load(std::memory_order_acquire)) return;
     sync_.arrive_and_wait();  // (2) wait for planning
     ex.begin_batch(batch_start_nanos_);
-    ex.run_conflict_queues(exec_queues_[e]);
-    if (!read_queues_.empty()) {
-      ex.run_read_queues(read_queues_, read_cursor_);
+    ex.run_conflict_queues(pipe_.exec_queues[e]);
+    if (!pipe_.read_queues.empty()) {
+      ex.run_read_queues(pipe_.read_queues, read_cursor_);
     }
     sync_.arrive_and_wait();  // (3) execution complete
   }
@@ -104,7 +103,7 @@ void quecc_engine::executor_main(worker_id_t e) {
 void quecc_engine::run_batch(txn::batch& b, common::run_metrics& m) {
   common::stopwatch sw;
   current_ = &b;
-  batch_start_nanos_ = now_nanos();
+  batch_start_nanos_ = common::now_nanos();
   read_cursor_.store(0, std::memory_order_relaxed);
 
   sync_.arrive_and_wait();  // (1) release planners
@@ -119,8 +118,10 @@ void quecc_engine::run_batch(txn::batch& b, common::run_metrics& m) {
   phases_.exec_seconds = t2 - t1;
   phases_.epilogue_seconds = sw.seconds() - t2;
   phases_.planned_fragments = 0;
-  for (const auto& po : plan_outs_) phases_.planned_fragments += po.planned_frags;
-  phases_.queues = static_cast<std::uint64_t>(plan_outs_.size()) *
+  for (const auto& po : pipe_.plan_outs) {
+    phases_.planned_fragments += po.planned_frags;
+  }
+  phases_.queues = static_cast<std::uint64_t>(pipe_.plan_outs.size()) *
                    (cfg_.executor_threads +
                     (committed_ ? cfg_.executor_threads : 0));
   m.batches += 1;
@@ -178,7 +179,7 @@ recovery_stats batch_epilogue(
 
 void quecc_engine::epilogue(txn::batch& b, common::run_metrics& m) {
   last_rec_ =
-      batch_epilogue(db_, cfg_, b, executors_, spec_, committed_.get(), m);
+      batch_epilogue(db_, cfg_, b, pipe_.executors, spec_, committed_.get(), m);
 }
 
 }  // namespace quecc::core

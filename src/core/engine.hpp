@@ -41,6 +41,24 @@ recovery_stats batch_epilogue(
     std::span<const std::unique_ptr<executor>> executors, spec_manager& spec,
     storage::dual_version_store* committed, common::run_metrics& m);
 
+/// Planner/executor fabric shared by the centralized engine and the
+/// distributed engine: P planners with their plan outputs, E executors,
+/// and the per-executor conflict-queue views (plus the flattened RC read
+/// queues). build() pre-sizes every queue container so addresses stay
+/// stable for the engine lifetime — executors hold raw pointers into them.
+struct pipeline {
+  std::vector<planner> planners;
+  std::vector<plan_output> plan_outs;                // one per planner
+  std::vector<std::unique_ptr<executor>> executors;  // stable addresses
+  std::vector<std::vector<const frag_queue*>> exec_queues;  // [e] -> P ptrs
+  std::vector<const frag_queue*> read_queues;        // flattened P*E (RC)
+
+  /// `cfg` and `db` must outlive the pipeline (planners and executors keep
+  /// references); `committed` may be null (serializable isolation).
+  void build(const common::config& cfg, storage::database& db,
+             storage::dual_version_store* committed);
+};
+
 class quecc_engine final : public proto::engine {
  public:
   /// `db` must outlive the engine and be fully loaded: under read-committed
@@ -77,11 +95,7 @@ class quecc_engine final : public proto::engine {
   std::unique_ptr<storage::dual_version_store> committed_;  // RC only
   spec_manager spec_;
 
-  std::vector<planner> planners_;
-  std::vector<plan_output> plan_outs_;                // one per planner
-  std::vector<std::unique_ptr<executor>> executors_;  // stable addresses
-  std::vector<std::vector<const frag_queue*>> exec_queues_;  // [e] -> P ptrs
-  std::vector<const frag_queue*> read_queues_;        // flattened P*E (RC)
+  pipeline pipe_;
   std::atomic<std::size_t> read_cursor_{0};
 
   txn::batch* current_ = nullptr;

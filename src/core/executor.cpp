@@ -7,14 +7,6 @@
 
 namespace quecc::core {
 
-namespace {
-std::uint64_t now_nanos() noexcept {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-}  // namespace
 
 void executor::run_conflict_queues(
     std::span<const frag_queue* const> queues) {
@@ -102,7 +94,7 @@ void executor::finish(txn::txn_desc& t) {
   const auto left =
       t.remaining_frags.fetch_sub(1, std::memory_order_acq_rel) - 1;
   if (left == 0) {
-    latency_.record_nanos(now_nanos() - batch_start_nanos_);
+    latency_.record_nanos(common::now_nanos() - batch_start_nanos_);
   }
 }
 

@@ -40,10 +40,7 @@ worker_id_t planner::route(const txn::fragment& f) const noexcept {
   const auto e_per_node = static_cast<worker_id_t>(executors / cfg_.nodes);
   const auto node =
       static_cast<worker_id_t>((f.part % executors) / e_per_node);
-  std::uint64_t h = f.key + 0x9e3779b97f4a7c15ull * (f.table + 1);
-  h ^= h >> 33;
-  h *= 0xff51afd7ed558ccdull;
-  h ^= h >> 29;
+  const std::uint64_t h = record_hash(f.table, f.key);
   return static_cast<worker_id_t>(node * e_per_node + h % e_per_node);
 }
 

@@ -1,0 +1,165 @@
+#include "dist/dist_quecc.hpp"
+
+#include <chrono>
+
+#include "common/spinlock.hpp"
+#include "common/thread_util.hpp"
+
+namespace quecc::dist {
+
+namespace {
+
+/// Global view of a per-node configuration: the planner slicing and queue
+/// routing in core::planner already understand `nodes`, they just need the
+/// cluster-wide thread counts.
+common::config globalize(const common::config& cfg) {
+  common::config g = cfg;
+  g.planner_threads =
+      static_cast<worker_id_t>(cfg.planner_threads * cfg.nodes);
+  g.executor_threads =
+      static_cast<worker_id_t>(cfg.executor_threads * cfg.nodes);
+  return g;
+}
+
+}  // namespace
+
+dist_quecc_engine::dist_quecc_engine(storage::database& db,
+                                     const common::config& cfg)
+    : db_(db),
+      cfg_(globalize(cfg)),
+      pl_{cfg.nodes, cfg.executor_threads, cfg.planner_threads},
+      net_(cfg.nodes, cfg.net_latency_micros),
+      spec_(db),
+      sync_(static_cast<std::ptrdiff_t>(cfg_.planner_threads) +
+            cfg_.executor_threads + 1) {
+  cfg_.validate();
+  if (cfg_.iso == common::isolation::read_committed) {
+    committed_ = std::make_unique<storage::dual_version_store>(db_);
+  }
+  pipe_.build(cfg_, db_, committed_.get());
+
+  const worker_id_t planners = cfg_.planner_threads;
+  const worker_id_t execs = cfg_.executor_threads;
+  threads_.reserve(static_cast<std::size_t>(planners) + execs);
+  for (worker_id_t p = 0; p < planners; ++p) {
+    threads_.emplace_back([this, p] { planner_main(p); });
+  }
+  for (worker_id_t e = 0; e < execs; ++e) {
+    threads_.emplace_back([this, e] { executor_main(e); });
+  }
+}
+
+dist_quecc_engine::~dist_quecc_engine() {
+  stop_.store(true, std::memory_order_release);
+  sync_.arrive_and_wait();
+  for (auto& t : threads_) t.join();
+}
+
+void dist_quecc_engine::planner_main(worker_id_t p) {
+  common::name_self("dq-n" + std::to_string(pl_.node_of_planner(p)) +
+                    "-plan-" + std::to_string(p));
+  if (cfg_.pin_threads) common::pin_self_to(p);
+  while (true) {
+    sync_.arrive_and_wait();  // (1) batch start
+    if (stop_.load(std::memory_order_acquire)) return;
+    pipe_.planners[p].plan(*current_, pipe_.plan_outs[p]);
+    sync_.arrive_and_wait();  // (2) planning complete
+    sync_.arrive_and_wait();  // (3) remote bundles delivered (idle)
+    sync_.arrive_and_wait();  // (4) execution complete (idle)
+  }
+}
+
+void dist_quecc_engine::executor_main(worker_id_t e) {
+  common::name_self("dq-n" + std::to_string(pl_.node_of_executor(e)) +
+                    "-exec-" + std::to_string(e));
+  if (cfg_.pin_threads) common::pin_self_to(cfg_.planner_threads + e);
+  core::executor& ex = *pipe_.executors[e];
+  while (true) {
+    sync_.arrive_and_wait();  // (1) batch start
+    if (stop_.load(std::memory_order_acquire)) return;
+    sync_.arrive_and_wait();  // (2) planning done
+    sync_.arrive_and_wait();  // (3) remote bundles delivered
+    ex.begin_batch(batch_start_nanos_);
+    ex.run_conflict_queues(pipe_.exec_queues[e]);
+    if (!pipe_.read_queues.empty()) {
+      ex.run_read_queues(pipe_.read_queues, read_cursor_);
+    }
+    sync_.arrive_and_wait();  // (4) execution complete
+  }
+}
+
+void dist_quecc_engine::drain_expected(net::node_id_t node,
+                                       net::msg_type type,
+                                       std::size_t expected) {
+  common::backoff bo;
+  std::size_t got = 0;
+  net::message msg;
+  while (got < expected) {
+    if (net_.poll(node, msg)) {
+      if (msg.type == type) ++got;
+      continue;
+    }
+    bo.spin();
+  }
+}
+
+void dist_quecc_engine::ship_plan_bundles(std::uint32_t batch_id) {
+  // Every planner ships one bundle (its E queues for that node's
+  // executors) to every remote node. The sends overlap, so all nodes
+  // resume after a single one-way latency.
+  for (worker_id_t p = 0; p < cfg_.planner_threads; ++p) {
+    const net::node_id_t from = pl_.node_of_planner(p);
+    for (net::node_id_t n = 0; n < pl_.nodes; ++n) {
+      if (n == from) continue;
+      net_.send({from, n, net::msg_type::plan_queues, p, batch_id, {}});
+    }
+  }
+  const std::size_t remote_planners =
+      static_cast<std::size_t>(cfg_.planner_threads) - pl_.planners_per_node;
+  for (net::node_id_t n = 0; n < pl_.nodes; ++n) {
+    drain_expected(n, net::msg_type::plan_queues, remote_planners);
+  }
+}
+
+void dist_quecc_engine::done_round(std::uint32_t batch_id) {
+  for (net::node_id_t n = 1; n < pl_.nodes; ++n) {
+    net_.send({n, 0, net::msg_type::batch_done, batch_id, 0, {}});
+  }
+  drain_expected(0, net::msg_type::batch_done,
+                 static_cast<std::size_t>(pl_.nodes) - 1);
+}
+
+void dist_quecc_engine::commit_round(std::uint32_t batch_id) {
+  net_.broadcast({0, 0, net::msg_type::batch_commit, batch_id, 0, {}});
+  for (net::node_id_t n = 1; n < pl_.nodes; ++n) {
+    drain_expected(n, net::msg_type::batch_commit, 1);
+  }
+}
+
+void dist_quecc_engine::run_batch(txn::batch& b, common::run_metrics& m) {
+  common::stopwatch sw;
+  current_ = &b;
+  batch_start_nanos_ = common::now_nanos();
+  read_cursor_.store(0, std::memory_order_relaxed);
+  net_.reset_counters();
+
+  sync_.arrive_and_wait();  // (1) release planners
+  sync_.arrive_and_wait();  // (2) planning done
+  if (pl_.nodes > 1) ship_plan_bundles(b.id());
+  sync_.arrive_and_wait();  // (3) bundles delivered, release executors
+  sync_.arrive_and_wait();  // (4) execution done
+
+  if (pl_.nodes > 1) done_round(b.id());
+  // The nodes share one deterministic view of the batch, so the commit
+  // epilogue (speculative recovery + status marking) runs once globally —
+  // the paradigm's "no 2PC" commit.
+  core::batch_epilogue(db_, cfg_, b, pipe_.executors, spec_,
+                       committed_.get(), m);
+  if (pl_.nodes > 1) commit_round(b.id());
+
+  m.messages += net_.messages_sent();
+  m.batches += 1;
+  m.elapsed_seconds += sw.seconds();
+}
+
+}  // namespace quecc::dist

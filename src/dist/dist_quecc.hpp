@@ -1,0 +1,91 @@
+// Distributed queue-oriented engine over the simulated cluster (paper
+// Section 2.2 / the scale-out design of "Highly Available Queue-oriented
+// Speculative Transaction Processing").
+//
+// Every node runs its own planners and executors; planning produces, per
+// planner, one fragment-queue bundle per node. Bundles destined for remote
+// nodes are shipped over net::network (payloads stay in shared memory —
+// DESIGN.md 2.5 — the network models delivery latency and message counts),
+// and a node's executors start draining only after every remote bundle
+// addressed to the node has been delivered. Commitment needs no 2PC: the
+// two deterministic phases make the commit decision implicit, so the batch
+// ends with a single done/commit round through the coordinator —
+// messages per batch are constant:
+//
+//     planners * (nodes - 1)  plan bundles
+//   + (nodes - 1)             batch_done   (participant -> coordinator)
+//   + (nodes - 1)             batch_commit (coordinator broadcast)
+//
+// independent of how many transactions are distributed — the structural
+// contrast with per-transaction commit protocols that dist_calvin (and the
+// test DistBehaviour.QueccCommitCostIsPerBatchNotPerTxn) measures.
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/engine.hpp"
+#include "core/executor.hpp"
+#include "core/planner.hpp"
+#include "core/spec_manager.hpp"
+#include "dist/partitioner.hpp"
+#include "net/network.hpp"
+#include "protocols/iface.hpp"
+#include "storage/dual_version.hpp"
+
+namespace quecc::dist {
+
+class dist_quecc_engine final : public proto::engine {
+ public:
+  /// `cfg` thread counts are per node: a cluster of cfg.nodes nodes runs
+  /// cfg.planner_threads planners and cfg.executor_threads executors each.
+  dist_quecc_engine(storage::database& db, const common::config& cfg);
+  ~dist_quecc_engine() override;
+
+  dist_quecc_engine(const dist_quecc_engine&) = delete;
+  dist_quecc_engine& operator=(const dist_quecc_engine&) = delete;
+
+  const char* name() const noexcept override { return "dist-quecc"; }
+  void run_batch(txn::batch& b, common::run_metrics& m) override;
+
+  const placement& cluster() const noexcept { return pl_; }
+
+ private:
+  void planner_main(worker_id_t p);
+  void executor_main(worker_id_t e);
+
+  /// Ship every planner's remote queue bundles and block until each node
+  /// received all bundles addressed to it (one one-way latency, since the
+  /// sends overlap).
+  void ship_plan_bundles(std::uint32_t batch_id);
+
+  /// Participants report batch_done to the coordinator; after the global
+  /// deterministic epilogue the coordinator broadcasts batch_commit.
+  void done_round(std::uint32_t batch_id);
+  void commit_round(std::uint32_t batch_id);
+
+  void drain_expected(net::node_id_t node, net::msg_type type,
+                      std::size_t expected);
+
+  storage::database& db_;
+  common::config cfg_;        ///< global view: thread counts * nodes
+  placement pl_;
+  net::network net_;
+  std::unique_ptr<storage::dual_version_store> committed_;  // RC only
+  core::spec_manager spec_;
+
+  core::pipeline pipe_;  ///< shared planner/executor fabric (global view)
+  std::atomic<std::size_t> read_cursor_{0};
+
+  txn::batch* current_ = nullptr;
+  std::uint64_t batch_start_nanos_ = 0;
+  std::atomic<bool> stop_{false};
+  std::barrier<> sync_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace quecc::dist

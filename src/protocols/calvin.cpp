@@ -9,14 +9,6 @@
 
 namespace quecc::proto {
 
-namespace {
-std::uint64_t now_nanos() noexcept {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-}  // namespace
 
 calvin_engine::calvin_engine(storage::database& db,
                              const common::config& cfg)
@@ -25,11 +17,7 @@ calvin_engine::calvin_engine(storage::database& db,
 }
 
 std::uint64_t calvin_engine::rec_of(table_id_t table, key_t key) noexcept {
-  std::uint64_t h = key + 0x9e3779b97f4a7c15ull * (table + 1);
-  h ^= h >> 33;
-  h *= 0xff51afd7ed558ccdull;
-  h ^= h >> 29;
-  return h;
+  return record_hash(table, key);
 }
 
 void calvin_engine::lock_set(
@@ -88,7 +76,7 @@ void calvin_engine::run_batch(txn::batch& b, common::run_metrics& m) {
   ensure_pool();
   common::stopwatch sw;
   current_ = &b;
-  batch_start_nanos_ = now_nanos();
+  batch_start_nanos_ = common::now_nanos();
   for (auto& s : stripes_) s.locks.clear();
   for (auto& wm : worker_metrics_) wm = common::run_metrics{};
 
@@ -197,7 +185,7 @@ void calvin_engine::worker_job(unsigned worker) {
     } else {
       wm.aborted += 1;
     }
-    wm.txn_latency.record_nanos(now_nanos() - batch_start_nanos_);
+    wm.txn_latency.record_nanos(common::now_nanos() - batch_start_nanos_);
     release_locks(t);
     remaining_.fetch_sub(1, std::memory_order_acq_rel);
   }

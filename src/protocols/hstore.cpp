@@ -9,14 +9,6 @@
 
 namespace quecc::proto {
 
-namespace {
-std::uint64_t now_nanos() noexcept {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-}  // namespace
 
 hstore_engine::hstore_engine(storage::database& db,
                              const common::config& cfg)
@@ -37,7 +29,7 @@ void hstore_engine::run_batch(txn::batch& b, common::run_metrics& m) {
   ensure_pool();
   common::stopwatch sw;
   current_ = &b;
-  batch_start_nanos_ = now_nanos();
+  batch_start_nanos_ = common::now_nanos();
   for (auto& l : lists_) l.clear();
   mp_states_.clear();
   for (auto& wm : worker_metrics_) wm = common::run_metrics{};
@@ -90,7 +82,7 @@ void hstore_engine::worker_job(unsigned worker) {
     } else {
       wm.aborted += 1;
     }
-    wm.txn_latency.record_nanos(now_nanos() - batch_start_nanos_);
+    wm.txn_latency.record_nanos(common::now_nanos() - batch_start_nanos_);
   };
 
   for (const auto& [txn_idx, mp_idx] : lists_[worker]) {

@@ -36,9 +36,11 @@ class engine {
   }
 };
 
-/// Instantiate a centralized engine by name. Known names:
+/// Instantiate an engine by name. Centralized:
 ///   "quecc", "serial", "2pl-nowait", "2pl-waitdie", "silo", "tictoc",
 ///   "mvto", "hstore", "calvin".
+/// Distributed (simulated cluster, cfg.nodes nodes):
+///   "dist-quecc", "dist-calvin".
 /// Throws std::invalid_argument for unknown names.
 std::unique_ptr<engine> make_engine(const std::string& name,
                                     storage::database& db,

@@ -1,6 +1,7 @@
 // Unit tests: common substrate (rng, zipf, spinlock, stats, config, pool).
 #include <gtest/gtest.h>
 
+#include <mutex>
 #include <set>
 #include <thread>
 

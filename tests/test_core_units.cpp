@@ -81,7 +81,9 @@ TEST(Planner, SameRecordAlwaysSameExecutor) {
     for (const frag_entry& fe : out.conflict[e]) {
       const auto rec = std::make_pair(fe.f->table, fe.f->key);
       auto [it, fresh] = home.emplace(rec, e);
-      if (!fresh) EXPECT_EQ(it->second, e) << "record split across queues";
+      if (!fresh) {
+        EXPECT_EQ(it->second, e) << "record split across queues";
+      }
     }
   }
 }

@@ -58,6 +58,33 @@ TEST(Placement, PartitionToNodeMapping) {
   EXPECT_EQ(p.node_of_executor(5), 2);
 }
 
+TEST(Placement, PartitionsNotDivisibleByNodes) {
+  dist::placement p{3, 2, 1};  // 6 executor slots, partitions wrap over them
+  EXPECT_EQ(p.total_executors(), 6);
+  EXPECT_EQ(p.node_of_part(5), 2);
+  EXPECT_EQ(p.node_of_part(6), 0);  // 7 partitions % 6 slots: back to node 0
+  EXPECT_EQ(p.node_of_part(7), 0);
+  for (part_id_t q = 0; q < 64; ++q) {
+    // Wrap is stable (same partition, same node) and always in range.
+    EXPECT_EQ(p.node_of_part(q),
+              p.node_of_part(static_cast<part_id_t>(q % 6)));
+    EXPECT_LT(p.node_of_part(q), p.nodes);
+  }
+}
+
+TEST(Placement, SingleExecutorNodes) {
+  dist::placement p{4, 1, 1};  // one executor per node: node == slot
+  EXPECT_EQ(p.total_executors(), 4);
+  EXPECT_EQ(p.total_planners(), 4);
+  for (part_id_t q = 0; q < 12; ++q) {
+    EXPECT_EQ(p.global_executor_of_part(q), q % 4);
+    EXPECT_EQ(p.node_of_part(q), q % 4);
+    EXPECT_EQ(p.local_executor(p.global_executor_of_part(q)), 0);
+  }
+  EXPECT_EQ(p.node_of_executor(3), 3);
+  EXPECT_EQ(p.node_of_planner(2), 2);
+}
+
 common::config dist_cfg(std::uint16_t nodes, std::uint32_t latency_us = 20) {
   common::config cfg;
   cfg.nodes = nodes;
@@ -166,6 +193,37 @@ TEST_P(DistNodes, EnginesAgreeOnTpcc) {
 
   std::string why;
   EXPECT_TRUE(w.check_consistency(*db_q, &why)) << why;
+}
+
+TEST(Placement, EnginesHandleNonDivisiblePartitions) {
+  // 7 partitions over 3 nodes: the wrap path runs inside both engines.
+  wl::ycsb_config wcfg;
+  wcfg.table_size = 4096;
+  wcfg.partitions = 7;
+  wcfg.multi_partition_ratio = 0.3;
+  wcfg.mp_parts = 2;
+  auto w = wl::ycsb(wcfg);
+
+  common::config cfg = dist_cfg(3);
+  cfg.partitions = 7;
+
+  for (int engine = 0; engine < 2; ++engine) {
+    auto db = testutil::make_loaded_db(w);
+    auto db_serial = db->clone();
+    common::rng r(31);
+    auto b = w.make_batch(r, 256);
+    common::run_metrics m;
+    if (engine == 0) {
+      dist::dist_quecc_engine eng(*db, cfg);
+      eng.run_batch(b, m);
+    } else {
+      dist::dist_calvin_engine eng(*db, cfg);
+      eng.run_batch(b, m);
+    }
+    testutil::replay_in_seq_order(*db_serial, b);
+    EXPECT_EQ(db->state_hash(), db_serial->state_hash()) << engine;
+    EXPECT_GT(m.messages, 0u);
+  }
 }
 
 TEST(DistBehaviour, QueccCommitCostIsPerBatchNotPerTxn) {

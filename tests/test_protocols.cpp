@@ -19,11 +19,6 @@
 namespace quecc {
 namespace {
 
-bool is_deterministic(const std::string& name) {
-  return name == "quecc" || name == "serial" || name == "hstore" ||
-         name == "calvin";
-}
-
 common::config small_cfg() {
   common::config cfg;
   cfg.planner_threads = 2;
@@ -200,11 +195,15 @@ TEST(ProtocolBehaviour, NonDeterministicEnginesAbortUnderContention) {
     auto eng = proto::make_engine(name, *db, cfg);
     // Conflict-induced aborts are timing-dependent; keep feeding batches
     // until the protocol shows its abort path (bounded to stay fast).
+    // Batches must be large enough that one batch's CPU time exceeds the
+    // scheduler's preemption granularity: on a single-CPU machine workers
+    // only overlap mid-transaction via involuntary preemption, and a batch
+    // that fits inside one timeslice runs as a conflict-free worker relay.
     std::uint64_t expected_commits = 0;
     for (int i = 0; i < 10 && m.cc_aborts == 0; ++i) {
-      auto b = w.make_batch(r, 1000, static_cast<std::uint32_t>(i));
+      auto b = w.make_batch(r, 8000, static_cast<std::uint32_t>(i));
       eng->run_batch(b, m);
-      expected_commits += 1000;
+      expected_commits += 8000;
     }
     EXPECT_GT(m.cc_aborts, 0u) << name << " saw no conflicts?";
     EXPECT_EQ(m.committed, expected_commits) << name;
