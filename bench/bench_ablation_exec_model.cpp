@@ -14,7 +14,7 @@
 
 int main() {
   using namespace quecc;
-  const auto s = benchutil::scaled(5, 2048);
+  const harness::run_options s = benchutil::scaled(5, 2048);
 
   std::printf(
       "== Ablation: speculative vs conservative execution ==\n"
@@ -41,9 +41,9 @@ int main() {
     cfg.partitions = 4;
 
     cfg.execution = common::exec_model::speculative;
-    const auto ms = benchutil::run_engine("quecc", cfg, make, 42, s);
+    const auto ms = benchutil::run_engine("quecc", cfg, make, s);
     cfg.execution = common::exec_model::conservative;
-    const auto mc = benchutil::run_engine("quecc", cfg, make, 42, s);
+    const auto mc = benchutil::run_engine("quecc", cfg, make, s);
 
     table.row({std::to_string(abort_rate),
                harness::format_rate(ms.throughput()),

@@ -14,7 +14,7 @@
 
 int main() {
   using namespace quecc;
-  const auto s = benchutil::scaled(5, 2048);
+  const harness::run_options s = benchutil::scaled(5, 2048);
 
   std::printf(
       "== Ablation: serializable vs read-committed isolation ==\n"
@@ -40,9 +40,9 @@ int main() {
     cfg.partitions = 4;
 
     cfg.iso = common::isolation::serializable;
-    const auto mser = benchutil::run_engine("quecc", cfg, make, 42, s);
+    const auto mser = benchutil::run_engine("quecc", cfg, make, s);
     cfg.iso = common::isolation::read_committed;
-    const auto mrc = benchutil::run_engine("quecc", cfg, make, 42, s);
+    const auto mrc = benchutil::run_engine("quecc", cfg, make, s);
 
     table.row({std::to_string(read_ratio),
                harness::format_rate(mser.throughput()),

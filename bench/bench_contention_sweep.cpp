@@ -9,7 +9,7 @@
 
 int main() {
   using namespace quecc;
-  const auto s = benchutil::scaled(4, 2048);
+  const harness::run_options s = benchutil::scaled(4, 2048);
 
   std::printf(
       "== Contention sweep: YCSB zipf theta 0 -> 0.99 ==\n"
@@ -41,7 +41,7 @@ int main() {
     std::vector<std::string> cells{std::to_string(theta)};
     std::uint64_t quecc_cc = 0, nd_cc = 0;
     for (const char* name : engines) {
-      const auto m = benchutil::run_engine(name, cfg, make, 42, s);
+      const auto m = benchutil::run_engine(name, cfg, make, s);
       cells.push_back(harness::format_rate(m.throughput()));
       if (std::string(name) == "quecc") {
         quecc_cc = m.cc_aborts;

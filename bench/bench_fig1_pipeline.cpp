@@ -14,7 +14,7 @@
 
 int main() {
   using namespace quecc;
-  const auto s = benchutil::scaled(4, 4096);
+  const harness::run_options s = benchutil::scaled(4, 4096);
 
   std::printf(
       "== Figure 1: planning/execution pipeline anatomy ==\n"

@@ -5,6 +5,7 @@
 #include "common/rng.hpp"
 #include "common/spinlock.hpp"
 #include "common/zipf.hpp"
+#include "core/admission.hpp"
 #include "core/planner.hpp"
 #include "storage/database.hpp"
 #include "txn/txn_context.hpp"
@@ -96,6 +97,22 @@ void BM_PlanningPhase(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_PlanningPhase)->Arg(256)->Arg(2048);
+
+void BM_AdmissionSubmitDrain(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  core::admission_queue q(n);
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      core::admitted_txn a;
+      a.txn = std::make_unique<txn::txn_desc>();
+      q.submit(std::move(a));
+    }
+    auto batch = q.pop_batch(n, /*deadline_micros=*/0);
+    benchmark::DoNotOptimize(batch.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AdmissionSubmitDrain)->Arg(256)->Arg(2048);
 
 void BM_StateHash(benchmark::State& state) {
   wl::ycsb_config wcfg;

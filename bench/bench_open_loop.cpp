@@ -1,0 +1,80 @@
+// Experiment OL — latency vs offered load on the open-loop client path.
+//
+// The paper's experiments (like every closed-loop replay) measure pure
+// execution latency: the clock starts when a pre-formed batch enters the
+// pipeline. A server doesn't get that luxury — transactions arrive on
+// their own schedule and wait in the admission queue for a batch to form.
+// This bench drives the queue-oriented engine through proto::session with
+// a Poisson arrival process at a sweep of offered loads (calibrated as
+// fractions of the engine's measured closed-loop capacity) and reports
+// the latency a *client* sees: queueing delay and end-to-end
+// (submit -> commit), next to the execution-only number.
+//
+// Expect the classic open-loop shape: e2e latency sits near
+// (batch-fill-or-deadline time + execution) at low load and climbs
+// steeply as the offered load approaches capacity.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "workload/ycsb.hpp"
+
+int main() {
+  using namespace quecc;
+  const harness::run_options s = benchutil::scaled(8, 1024);
+
+  auto make = []() -> std::unique_ptr<wl::workload> {
+    wl::ycsb_config w;
+    w.table_size = 1 << 14;
+    w.partitions = 4;
+    w.zipf_theta = 0.6;
+    w.read_ratio = 0.5;
+    return std::make_unique<wl::ycsb>(w);
+  };
+
+  common::config cfg;
+  cfg.planner_threads = 2;
+  cfg.executor_threads = 2;
+  cfg.partitions = 4;
+
+  // Calibrate: closed-loop throughput is the engine's batch-replay
+  // capacity on this machine; the sweep offers fractions of it.
+  const auto cap = benchutil::run_engine("quecc", cfg, make, s);
+  const double capacity = std::max(1.0, cap.throughput());
+
+  std::printf(
+      "== Open loop: latency vs offered load (quecc, ycsb) ==\n"
+      "%" PRIu64 " txns per point, batch=%u deadline=%uus, "
+      "closed-loop capacity ~%.0f txn/s\n\n",
+      s.total_txns(), s.batch_size, s.batch_deadline_micros, capacity);
+
+  harness::table_printer table({"offered", "achieved", "p50 queue",
+                                "p99 queue", "p50 e2e", "p99 e2e",
+                                "p50 exec"});
+
+  for (const double frac : {0.25, 0.5, 0.75, 0.9}) {
+    harness::run_options o = s;
+    o.mode = harness::arrival_mode::open_loop;
+    o.offered_load_tps = capacity * frac;
+    const auto m = benchutil::run_engine("quecc", cfg, make, o);
+
+    auto us = [](double ns) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.0fus", ns / 1e3);
+      return std::string(buf);
+    };
+    table.row({harness::format_rate(o.offered_load_tps),
+               harness::format_rate(m.throughput()),
+               us(m.queue_latency.percentile_nanos(50)),
+               us(m.queue_latency.percentile_nanos(99)),
+               us(m.e2e_latency.percentile_nanos(50)),
+               us(m.e2e_latency.percentile_nanos(99)),
+               us(m.txn_latency.percentile_nanos(50))});
+  }
+  table.print();
+  std::printf(
+      "\nqueueing delay is the gap between e2e and exec: invisible to the\n"
+      "closed-loop benches, dominant as offered load approaches capacity.\n");
+  return 0;
+}

@@ -25,15 +25,15 @@ int main() {
 
   {
     harness::table_printer table(
-        {"batch size", "throughput", "p50 latency", "p99 latency"});
+        {"batch size", "throughput", "p50 exec", "p99 exec"});
     for (const std::uint32_t bs : {256u, 1024u, 4096u, 16384u}) {
       common::config cfg;
       cfg.planner_threads = 2;
       cfg.executor_threads = 2;
       cfg.partitions = 8;
       const std::uint32_t batches = quick ? 2 : (1u << 16) / bs + 2;
-      const auto m = benchutil::run_engine("quecc", cfg, make, 42,
-                                           {batches, bs});
+      const auto m = benchutil::run_engine(
+          "quecc", cfg, make, harness::run_options{batches, bs});
       char p50[32], p99[32];
       std::snprintf(p50, sizeof p50, "%.1fms",
                     m.txn_latency.percentile_nanos(50) / 1e6);
@@ -57,7 +57,7 @@ int main() {
       cfg.planner_threads = static_cast<worker_id_t>(p);
       cfg.executor_threads = static_cast<worker_id_t>(e);
       cfg.partitions = 8;
-      const auto m = benchutil::run_engine("quecc", cfg, make, 42,
+      const auto m = benchutil::run_engine("quecc", cfg, make,
                                            benchutil::scaled(4, 4096));
       char label[32];
       std::snprintf(label, sizeof label, "%dx%d", p, e);

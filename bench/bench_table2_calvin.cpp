@@ -17,7 +17,7 @@
 
 int main() {
   using namespace quecc;
-  const auto s = benchutil::scaled(5, 2048);
+  const harness::run_options s = benchutil::scaled(5, 2048);
 
   std::printf(
       "== Table 2 / row 2: QueCC-D vs Calvin, distributed YCSB ==\n"
@@ -48,8 +48,8 @@ int main() {
     cfg.worker_threads = 2;    // per node (Calvin execution pool)
     cfg.net_latency_micros = 50;
 
-    const auto mq = benchutil::run_engine("dist-quecc", cfg, make, 42, s);
-    const auto mc = benchutil::run_engine("dist-calvin", cfg, make, 42, s);
+    const auto mq = benchutil::run_engine("dist-quecc", cfg, make, s);
+    const auto mc = benchutil::run_engine("dist-calvin", cfg, make, s);
 
     table.row({std::to_string(dist_ratio),
                harness::format_rate(mq.throughput()),

@@ -16,7 +16,7 @@
 
 int main() {
   using namespace quecc;
-  const auto s = benchutil::scaled(6, 2048);
+  const harness::run_options s = benchutil::scaled(6, 2048);
 
   std::printf(
       "== Table 2 / row 1: QueCC vs H-Store, YCSB multi-partition ==\n"
@@ -45,8 +45,8 @@ int main() {
 
     common::config hcfg = qcfg;  // hstore spawns one worker per partition
 
-    const auto mq = benchutil::run_engine("quecc", qcfg, make, 42, s);
-    const auto mh = benchutil::run_engine("hstore", hcfg, make, 42, s);
+    const auto mq = benchutil::run_engine("quecc", qcfg, make, s);
+    const auto mh = benchutil::run_engine("hstore", hcfg, make, s);
 
     table.row({std::to_string(mp), harness::format_rate(mq.throughput()),
                harness::format_rate(mh.throughput()),

@@ -17,7 +17,7 @@
 
 int main() {
   using namespace quecc;
-  const auto s = benchutil::scaled(6, 1024);
+  const harness::run_options s = benchutil::scaled(6, 1024);
 
   std::printf(
       "== Table 2 / row 3: QueCC vs non-deterministic protocols, TPC-C ==\n"
@@ -36,12 +36,12 @@ int main() {
 
   harness::table_printer table(
       {"protocol", "throughput", "user aborts", "cc aborts/retries",
-       "p99 latency"});
+       "p99 exec latency"});
 
   double best_nd = 0, best_quecc = 0;
   auto run_row = [&](const std::string& label, const char* engine,
                      const common::config& cfg) {
-    const auto m = benchutil::run_engine(engine, cfg, make, 42, s);
+    const auto m = benchutil::run_engine(engine, cfg, make, s);
     if (label.rfind("quecc", 0) == 0) {
       best_quecc = std::max(best_quecc, m.throughput());
     } else if (label != "serial") {

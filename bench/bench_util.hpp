@@ -11,7 +11,6 @@
 #include <memory>
 #include <string>
 
-#include "common/rng.hpp"
 #include "harness/report.hpp"
 #include "harness/runner.hpp"
 #include "protocols/iface.hpp"
@@ -19,32 +18,34 @@
 
 namespace quecc::benchutil {
 
-struct scale {
-  std::uint32_t batches;
-  std::uint32_t batch_size;
-};
-
-inline scale scaled(std::uint32_t batches, std::uint32_t batch_size) {
+/// Closed-loop run options at bench scale, shrunk under QUECC_BENCH_QUICK.
+inline harness::run_options scaled(std::uint32_t batches,
+                                   std::uint32_t batch_size) {
+  harness::run_options o;
   if (std::getenv("QUECC_BENCH_QUICK") != nullptr) {
-    return {2, std::min<std::uint32_t>(batch_size, 256)};
+    o.batches = 2;
+    o.batch_size = std::min<std::uint32_t>(batch_size, 256);
+  } else {
+    o.batches = batches;
+    o.batch_size = batch_size;
   }
-  return {batches, batch_size};
+  return o;
 }
 
 /// Run `engine_name` over a fresh database + workload instance (so every
 /// engine sees an identical, independent transaction stream) and return
-/// aggregated metrics.
+/// aggregated metrics. Works for both arrival modes: set opts.mode /
+/// opts.offered_load_tps for an open-loop run; opts.seed picks the
+/// transaction stream (default 42, shared by every bench).
 inline common::run_metrics run_engine(
     const std::string& engine_name, const common::config& cfg,
     const std::function<std::unique_ptr<wl::workload>()>& make_workload,
-    std::uint64_t seed, scale s) {
+    const harness::run_options& opts) {
   auto w = make_workload();
   storage::database db;
   w->load(db);
   auto eng = proto::make_engine(engine_name, db, cfg);
-  common::rng r(seed);
-  return harness::run_workload(*eng, *w, db, r, s.batches, s.batch_size)
-      .metrics;
+  return harness::run_workload(*eng, *w, db, opts).metrics;
 }
 
 }  // namespace quecc::benchutil

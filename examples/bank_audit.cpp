@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "core/engine.hpp"
+#include "harness/runner.hpp"
 #include "workload/bank.hpp"
 
 using namespace quecc;
@@ -35,22 +36,22 @@ void run(common::exec_model model) {
   cfg.execution = model;
   core::quecc_engine engine(db, cfg);
 
-  common::rng r(2026);
-  common::run_metrics m;
-  std::uint32_t cascades = 0;
-  for (std::uint32_t i = 0; i < 8; ++i) {
-    auto b = workload.make_batch(r, 4096, i);
-    engine.run_batch(b, m);
-    cascades += engine.last_recovery().cascades;
-  }
+  harness::run_options opts;
+  opts.batches = 8;
+  opts.batch_size = 4096;
+  opts.seed = 2026;
+  // The engine folds speculation cascades into cc_aborts (the paradigm's
+  // only source of protocol-induced re-execution).
+  const auto m = harness::run_workload(engine, workload, db, opts).metrics;
 
   const auto total_after = workload.total_balance(db);
   std::printf(
       "%-13s: %8.0f txn/s, committed=%llu, insufficient-funds aborts=%llu,\n"
-      "               speculation cascades=%u, audit: %llu -> %llu %s\n",
+      "               speculation cascades=%llu, audit: %llu -> %llu %s\n",
       common::to_string(model), m.throughput(),
       static_cast<unsigned long long>(m.committed),
-      static_cast<unsigned long long>(m.aborted), cascades,
+      static_cast<unsigned long long>(m.aborted),
+      static_cast<unsigned long long>(m.cc_aborts),
       static_cast<unsigned long long>(total_before),
       static_cast<unsigned long long>(total_after),
       total_before == total_after ? "(balanced ✓)" : "(MISMATCH ✗)");

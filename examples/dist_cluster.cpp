@@ -8,16 +8,15 @@
 // Build & run:  ./build/examples/dist_cluster
 #include <cstdio>
 
-#include "dist/dist_calvin.hpp"
-#include "dist/dist_quecc.hpp"
 #include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "protocols/iface.hpp"
 #include "workload/ycsb.hpp"
 
 using namespace quecc;
 
 namespace {
 
-template <typename Engine>
 void run_one(const char* label, harness::table_printer& table,
              std::uint32_t batches, std::uint32_t batch_size) {
   wl::ycsb_config wcfg;
@@ -38,13 +37,12 @@ void run_one(const char* label, harness::table_printer& table,
   cfg.worker_threads = 2;    // per node
   cfg.net_latency_micros = 50;
 
-  Engine engine(db, cfg);
-  common::rng r(99);
-  common::run_metrics m;
-  for (std::uint32_t i = 0; i < batches; ++i) {
-    auto b = workload.make_batch(r, batch_size, i);
-    engine.run_batch(b, m);
-  }
+  auto engine = proto::make_engine(label, db, cfg);
+  harness::run_options opts;
+  opts.batches = batches;
+  opts.batch_size = batch_size;
+  opts.seed = 99;
+  const auto m = harness::run_workload(*engine, workload, db, opts).metrics;
 
   char msgs_per_txn[32];
   std::snprintf(msgs_per_txn, sizeof msgs_per_txn, "%.3f",
@@ -67,9 +65,8 @@ int main() {
 
   harness::table_printer table(
       {"engine", "throughput", "messages", "msgs/txn"});
-  run_one<dist::dist_quecc_engine>("dist-quecc", table, kBatches, kBatchSize);
-  run_one<dist::dist_calvin_engine>("dist-calvin", table, kBatches,
-                                    kBatchSize);
+  run_one("dist-quecc", table, kBatches, kBatchSize);
+  run_one("dist-calvin", table, kBatches, kBatchSize);
   table.print();
 
   std::printf(

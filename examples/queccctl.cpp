@@ -4,12 +4,22 @@
 //            [--batch-size N] [--planners N] [--executors N] [--workers N]
 //            [--partitions N] [--nodes N] [--theta F] [--read-ratio F]
 //            [--mp-ratio F] [--warehouses N] [--exec spec|cons]
-//            [--iso ser|rc] [--seed N] [--latency-us N] [--list]
+//            [--iso ser|rc] [--seed N] [--latency-us N]
+//            [--arrival-rate TPS] [--batch-deadline-us N] [--list]
+//
+// --arrival-rate TPS switches from closed-loop batch replay to the
+// open-loop client path: batches*batch-size transactions arrive as a
+// Poisson process at TPS and flow through a proto::session (admission
+// queue + batch former), so the summary reports queueing and end-to-end
+// latency measured from submit time. --batch-deadline-us bounds how long
+// a partial batch may wait before it closes (default 2000).
 //
 // Examples:
 //   queccctl --engine quecc --workload tpcc --warehouses 1
 //   queccctl --engine dist-quecc --nodes 4 --mp-ratio 0.2
+//   queccctl --engine quecc --arrival-rate 50000 --batch-deadline-us 500
 //   queccctl --list
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +46,7 @@ struct options {
   double mp_ratio = 0.0;
   std::uint32_t warehouses = 1;
   std::uint64_t seed = 42;
+  double arrival_rate = 0.0;  ///< txn/s; > 0 selects the open-loop path
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -77,6 +88,11 @@ bool parse(options& o, int argc, char** argv) {
       o.cfg.nodes = static_cast<std::uint16_t>(std::atoi(need(i)));
     } else if (a == "--latency-us") {
       o.cfg.net_latency_micros =
+          static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (a == "--arrival-rate") {
+      o.arrival_rate = std::atof(need(i));
+    } else if (a == "--batch-deadline-us") {
+      o.cfg.batch_deadline_micros =
           static_cast<std::uint32_t>(std::atoi(need(i)));
     } else if (a == "--theta") {
       o.theta = std::atof(need(i));
@@ -152,9 +168,19 @@ int main(int argc, char** argv) {
               o.workload.c_str(), o.batches, o.batch_size,
               o.cfg.describe().c_str());
 
-  common::rng r(o.seed);
-  const auto res =
-      harness::run_workload(*eng, *w, db, r, o.batches, o.batch_size);
+  harness::run_options opts;
+  opts.batches = o.batches;
+  opts.batch_size = o.batch_size;
+  opts.seed = o.seed;
+  opts.batch_deadline_micros = o.cfg.batch_deadline_micros;
+  opts.admission_capacity = o.cfg.admission_capacity;
+  if (o.arrival_rate > 0) {
+    opts.mode = harness::arrival_mode::open_loop;
+    opts.offered_load_tps = o.arrival_rate;
+    std::printf("open loop: %" PRIu64 " txns offered at %.0f txn/s\n",
+                opts.total_txns(), o.arrival_rate);
+  }
+  const auto res = harness::run_workload(*eng, *w, db, opts);
   std::puts(res.metrics.summary(o.engine).c_str());
   std::printf("state hash: %016llx\n",
               static_cast<unsigned long long>(res.final_state_hash));

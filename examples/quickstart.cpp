@@ -4,16 +4,20 @@
 // We model a tiny ticket-sales system: one SEATS table; a "reserve"
 // transaction checks capacity (abortable fragment), decrements seats
 // (update fragment), and records the sale price into a result slot the
-// client can read back. Everything a workload needs is shown here:
+// client can read back. Everything an application needs is shown here:
 //   1. define a schema and load a table,
 //   2. write fragment logic (one function, dispatched by fragment.logic),
 //   3. compile transactions into fragments with dependencies,
-//   4. run batches through the engine and inspect results.
+//   4. submit them through a client session and wait on tickets — the
+//      session's batch former turns the submissions into deterministic
+//      batches (closing on size or deadline) behind your back.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
+#include <vector>
 
 #include "core/engine.hpp"
+#include "protocols/session.hpp"
 #include "storage/database.hpp"
 #include "txn/procedure.hpp"
 
@@ -97,37 +101,45 @@ int main() {
   // 2. The stored procedure: fragment logic + number of value slots.
   txn::procedure reserve_proc("reserve", &run_fragment, /*slots=*/1);
 
-  // 3. A batch of reservation requests (some will abort: only 10 seats).
-  txn::batch batch;
-  for (int i = 0; i < 20; ++i) {
-    batch.add(make_reserve(reserve_proc, /*event=*/i % 4,
-                           /*count=*/1 + i % 4));
-  }
-  batch.validate();
-
-  // 4. Run it through the queue-oriented engine: 2 planners, 2 executors,
-  //    speculative execution, serializable isolation.
+  // 3. The engine: 2 planners, 2 executors, speculative execution,
+  //    serializable isolation. batch_size is 1024 but we'll only submit
+  //    20 transactions — the 1ms batch deadline closes the partial batch,
+  //    so a trickle of traffic still commits promptly.
   common::config cfg;
   cfg.planner_threads = 2;
   cfg.executor_threads = 2;
+  cfg.batch_deadline_micros = 1000;
   core::quecc_engine engine(db, cfg);
 
-  common::run_metrics metrics;
-  engine.run_batch(batch, metrics);
+  // 4. Submit reservation requests through a client session (some will
+  //    abort: only 10 seats per event). submit() is thread-safe and
+  //    returns a ticket; wait() blocks until the transaction's batch
+  //    committed and carries the final status, latency, and result slots.
+  proto::session session(engine, cfg);
+  std::vector<proto::session::ticket> tickets;
+  for (int i = 0; i < 20; ++i) {
+    tickets.push_back(session.submit(
+        make_reserve(reserve_proc, /*event=*/i % 4, /*count=*/1 + i % 4)));
+  }
 
-  // 5. Inspect per-transaction outcomes.
-  std::printf("committed=%llu aborted=%llu (sold out)\n\n",
-              static_cast<unsigned long long>(metrics.committed),
-              static_cast<unsigned long long>(metrics.aborted));
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const auto& t = batch.at(i);
-    if (t.aborted()) {
+  // 5. Inspect per-transaction outcomes from the tickets.
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const auto r = tickets[i].wait();
+    if (r.status == txn::txn_status::aborted) {
       std::printf("txn %2zu: ABORTED (not enough seats)\n", i);
     } else {
-      std::printf("txn %2zu: committed, charged %llu\n", i,
-                  static_cast<unsigned long long>(t.slot_value(0)));
+      std::printf("txn %2zu: committed in %4.0fus (%3.0fus queued), "
+                  "charged %llu\n",
+                  i, r.e2e_nanos / 1e3, r.queue_nanos / 1e3,
+                  static_cast<unsigned long long>(r.slots[0]));
     }
   }
+  session.close();
+  const auto& metrics = session.metrics();
+  std::printf("\ncommitted=%llu aborted=%llu in %u batch(es)\n",
+              static_cast<unsigned long long>(metrics.committed),
+              static_cast<unsigned long long>(metrics.aborted),
+              session.batches_formed());
 
   std::printf("\nremaining seats per event:\n");
   for (quecc::key_t event = 0; event < 8; ++event) {

@@ -43,9 +43,11 @@ int main() {
     cfg.partitions = 4;
 
     auto engine = proto::make_engine(name, db, cfg);
-    common::rng r(2026);
-    const auto result =
-        harness::run_workload(*engine, workload, db, r, kBatches, kBatchSize);
+    harness::run_options opts;
+    opts.batches = kBatches;
+    opts.batch_size = kBatchSize;
+    opts.seed = 2026;
+    const auto result = harness::run_workload(*engine, workload, db, opts);
 
     std::string why;
     const bool ok = workload.check_consistency(db, &why);

@@ -42,19 +42,19 @@ int main() {
         cfg.iso = iso;
         core::quecc_engine engine(db, cfg);
 
-        common::rng r(7);
-        common::run_metrics m;
-        std::uint32_t cascades = 0;
-        for (std::uint32_t i = 0; i < 4; ++i) {
-          auto b = workload.make_batch(r, 2048, i);
-          engine.run_batch(b, m);
-          cascades += engine.last_recovery().cascades;
-        }
+        harness::run_options opts;
+        opts.batches = 4;
+        opts.batch_size = 2048;
+        opts.seed = 7;
+        const auto m =
+            harness::run_workload(engine, workload, db, opts).metrics;
 
+        // cc_aborts counts speculation cascades — the engine's only
+        // protocol-induced re-execution.
         table.row({theta == 0.0 ? "uniform" : "zipf 0.9",
                    common::to_string(model), common::to_string(iso),
                    harness::format_rate(m.throughput()),
-                   std::to_string(cascades)});
+                   std::to_string(m.cc_aborts)});
       }
     }
   }

@@ -28,8 +28,9 @@ const char* to_string(isolation i) noexcept {
 std::string config::describe() const {
   std::ostringstream os;
   os << "P=" << planner_threads << " E=" << executor_threads
-     << " batch=" << batch_size << " parts=" << partitions << " "
-     << to_string(execution) << "/" << to_string(iso);
+     << " batch=" << batch_size << " deadline=" << batch_deadline_micros
+     << "us parts=" << partitions << " " << to_string(execution) << "/"
+     << to_string(iso);
   if (nodes > 1) os << " nodes=" << nodes << " lat=" << net_latency_micros << "us";
   return os.str();
 }
@@ -40,6 +41,8 @@ void config::validate() const {
     throw std::invalid_argument("executor_threads == 0");
   if (worker_threads == 0) throw std::invalid_argument("worker_threads == 0");
   if (batch_size == 0) throw std::invalid_argument("batch_size == 0");
+  if (admission_capacity == 0)
+    throw std::invalid_argument("admission_capacity == 0");
   if (partitions == 0) throw std::invalid_argument("partitions == 0");
   if (nodes == 0) throw std::invalid_argument("nodes == 0");
   if (nodes > partitions)

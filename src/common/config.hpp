@@ -42,6 +42,15 @@ struct config {
   // --- batching ----------------------------------------------------------
   std::uint32_t batch_size = 1024;  ///< txns per deterministic batch
 
+  // --- admission (async client path) -------------------------------------
+  /// A batch former closes a batch on `batch_size` *or* this timer,
+  /// whichever fires first, so a trickle of submissions still commits
+  /// promptly (0 = close immediately with whatever has arrived).
+  std::uint32_t batch_deadline_micros = 2000;
+  /// Bounded depth of the client admission queue; submit() blocks when the
+  /// queue is full (backpressure instead of unbounded memory growth).
+  std::uint32_t admission_capacity = 1u << 16;
+
   // --- paradigm options --------------------------------------------------
   exec_model execution = exec_model::speculative;
   isolation iso = isolation::serializable;

@@ -46,6 +46,7 @@ double latency_histogram::mean_nanos() const noexcept {
 
 double latency_histogram::percentile_nanos(double q) const noexcept {
   if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 100.0);
   const double rank = q / 100.0 * static_cast<double>(count_ - 1);
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
@@ -71,6 +72,8 @@ void run_metrics::merge(const run_metrics& other) {
   messages += other.messages;
   elapsed_seconds = std::max(elapsed_seconds, other.elapsed_seconds);
   txn_latency.merge(other.txn_latency);
+  queue_latency.merge(other.queue_latency);
+  e2e_latency.merge(other.e2e_latency);
 }
 
 std::string run_metrics::summary(const std::string& label) const {
@@ -79,7 +82,13 @@ std::string run_metrics::summary(const std::string& label) const {
      << " txn/s, committed=" << committed << ", user_aborts=" << aborted
      << ", cc_aborts=" << cc_aborts << ", batches=" << batches;
   if (messages > 0) os << ", msgs=" << messages;
-  os << ", latency{" << txn_latency.summary() << "}";
+  os << ", exec{" << txn_latency.summary() << "}";
+  if (queue_latency.count() > 0) {
+    os << ", queue{" << queue_latency.summary() << "}";
+  }
+  if (e2e_latency.count() > 0) {
+    os << ", e2e{" << e2e_latency.summary() << "}";
+  }
   return os.str();
 }
 

@@ -79,7 +79,15 @@ struct run_metrics {
   std::uint64_t batches = 0;
   std::uint64_t messages = 0;        ///< simulated network messages
   double elapsed_seconds = 0.0;
-  latency_histogram txn_latency;     ///< per-transaction commit latency
+  /// Pure execution latency: batch execution start -> txn commit. Recorded
+  /// by every engine; excludes any time spent waiting for admission.
+  latency_histogram txn_latency;
+  /// Queueing delay: client submit -> batch execution start. Recorded only
+  /// on the async submission path (proto::session / open-loop harness).
+  latency_histogram queue_latency;
+  /// End-to-end latency: client submit -> batch commit. Recorded only on
+  /// the async submission path; always >= the execution latency.
+  latency_histogram e2e_latency;
 
   double throughput() const noexcept {
     return elapsed_seconds > 0 ? static_cast<double>(committed) /

@@ -1,0 +1,116 @@
+#include "core/admission.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace quecc::core {
+
+admission_queue::admission_queue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool admission_queue::submit(admitted_txn t) {
+  if (t.submit_nanos == 0) t.submit_nanos = common::now_nanos();
+  std::unique_lock lk(mu_);
+  not_full_.wait(lk, [&] { return q_.size() < capacity_ || closed_; });
+  if (closed_) return false;
+  q_.push_back(std::move(t));
+  ++admitted_;
+  lk.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool admission_queue::try_submit(admitted_txn& t) {
+  {
+    std::lock_guard lk(mu_);
+    if (closed_ || q_.size() >= capacity_) return false;
+    if (t.submit_nanos == 0) t.submit_nanos = common::now_nanos();
+    q_.push_back(std::move(t));
+    ++admitted_;
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+std::vector<admitted_txn> admission_queue::pop_batch(
+    std::uint32_t max, std::uint32_t deadline_micros) {
+  std::vector<admitted_txn> out;
+  if (max == 0) return out;
+  out.reserve(max);
+
+  std::unique_lock lk(mu_);
+  not_empty_.wait(lk, [&] { return !q_.empty() || closed_; });
+  if (q_.empty()) return out;  // closed and drained
+
+  // The deadline is anchored at the moment the batch's first transaction
+  // is observed, so a partial batch closes at most `deadline_micros` after
+  // forming began regardless of later arrivals.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(deadline_micros);
+  for (;;) {
+    const bool drained = !q_.empty() && out.size() < max;
+    while (!q_.empty() && out.size() < max) {
+      out.push_back(std::move(q_.front()));
+      q_.pop_front();
+    }
+    // Wake producers blocked on a full queue *before* parking on the
+    // deadline wait: the capacity just freed lets them refill the batch
+    // now, not a whole deadline later.
+    if (drained) not_full_.notify_all();
+    if (out.size() >= max || closed_) break;
+    if (not_empty_.wait_until(lk, deadline, [&] {
+          return !q_.empty() || closed_;
+        })) {
+      continue;  // new arrivals (or close): collect them
+    }
+    break;  // deadline fired: close the partial batch
+  }
+  return out;
+}
+
+void admission_queue::close() {
+  {
+    std::lock_guard lk(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool admission_queue::closed() const {
+  std::lock_guard lk(mu_);
+  return closed_;
+}
+
+std::size_t admission_queue::depth() const {
+  std::lock_guard lk(mu_);
+  return q_.size();
+}
+
+std::uint64_t admission_queue::admitted() const {
+  std::lock_guard lk(mu_);
+  return admitted_;
+}
+
+batch_former::formed batch_former::next() {
+  auto entries = q_.pop_batch(batch_size_, deadline_micros_);
+  formed f;
+  if (entries.empty()) return f;  // queue closed and drained
+
+  f.valid = true;
+  f.batch.set_id(next_id_.fetch_add(1, std::memory_order_relaxed));
+  f.tickets.reserve(entries.size());
+  f.submit_nanos.reserve(entries.size());
+  for (auto& e : entries) {
+    // Plans are validated at admission (proto::session::prepare), not
+    // here: re-validating every transaction on the single consumer thread
+    // would sit on the pump's critical path, and a throw from this thread
+    // would terminate the process rather than fail one submission.
+    f.batch.add(std::move(e.txn));
+    f.tickets.push_back(std::move(e.ticket));
+    f.submit_nanos.push_back(e.submit_nanos);
+  }
+  return f;
+}
+
+}  // namespace quecc::core

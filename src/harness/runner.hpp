@@ -1,26 +1,65 @@
-// Benchmark/test runner: drives an engine over generated batches and
-// aggregates the paper's key metrics (throughput and latency, Section 4).
+// Benchmark/test runner: drives an engine over a generated transaction
+// stream and aggregates the paper's key metrics (throughput and latency,
+// Section 4).
+//
+// Two arrival modes:
+//   * closed_loop — pre-form `batches` batches of `batch_size` and feed
+//     them to run_batch back to back (the paper's experiment shape; used
+//     by the property tests, which need exact batch boundaries).
+//   * open_loop   — a Poisson arrival process at `offered_load_tps`
+//     submits transactions through a proto::session; batches form by
+//     size-or-deadline and latency is measured from *submit time*, so
+//     queueing delay — invisible to a closed loop — shows up in
+//     run_metrics::queue_latency / e2e_latency.
 #pragma once
 
 #include <cstdint>
 
-#include "common/rng.hpp"
+#include "common/config.hpp"
 #include "common/stats.hpp"
 #include "protocols/iface.hpp"
 #include "workload/workload.hpp"
 
 namespace quecc::harness {
 
+enum class arrival_mode : std::uint8_t {
+  closed_loop,  ///< pre-formed batches, no queueing (today's behavior)
+  open_loop,    ///< Poisson arrivals via a proto::session
+};
+
+/// Options for run_workload. The first two members keep the old positional
+/// (batches, batch_size) brace-init working for closed-loop callers.
+struct run_options {
+  std::uint32_t batches = 4;       ///< closed: batch count; open: total
+  std::uint32_t batch_size = 1024; ///<   txns = batches * batch_size
+  arrival_mode mode = arrival_mode::closed_loop;
+  std::uint64_t seed = 42;         ///< workload-generation rng seed
+
+  // --- open-loop only (admission defaults come from common::config so
+  // there is a single source of truth for the knobs) -----------------------
+  double offered_load_tps = 100'000.0;  ///< Poisson arrival rate
+  std::uint32_t batch_deadline_micros =
+      common::config{}.batch_deadline_micros;  ///< batch former timer
+  std::uint32_t admission_capacity =
+      common::config{}.admission_capacity;  ///< bounded admission queue
+
+  std::uint64_t total_txns() const noexcept {
+    return static_cast<std::uint64_t>(batches) * batch_size;
+  }
+};
+
 struct run_result {
   common::run_metrics metrics;
   std::uint64_t final_state_hash = 0;
+  /// Open-loop: the offered arrival rate, for achieved-vs-offered reports
+  /// (metrics.throughput() is the achieved rate over the run's wall time).
+  double offered_load_tps = 0.0;
 };
 
-/// Generate `batches` batches of `batch_size` transactions from `w` (using
-/// `r`, which advances deterministically) and run them through `eng`
-/// against `db`. Returns aggregated metrics plus the database state hash.
+/// Drive `eng` over transactions generated from `w` (deterministically
+/// from `opts.seed`) against `db` according to `opts`. Returns aggregated
+/// metrics plus the database state hash.
 run_result run_workload(proto::engine& eng, wl::workload& w,
-                        storage::database& db, common::rng& r,
-                        std::uint32_t batches, std::uint32_t batch_size);
+                        storage::database& db, const run_options& opts);
 
 }  // namespace quecc::harness

@@ -1,0 +1,125 @@
+#include "protocols/session.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/thread_util.hpp"
+#include "txn/procedure.hpp"
+
+namespace quecc::proto {
+
+session::ticket::result session::ticket::wait() const {
+  result r;
+  if (!st_) return r;
+  st_->wait();
+  r.status = st_->status;
+  r.queue_nanos = st_->queue_nanos;
+  r.e2e_nanos = st_->e2e_nanos;
+  r.slots = st_->slots;
+  return r;
+}
+
+namespace {
+const common::config& checked(const common::config& cfg) {
+  // A zero batch_size would make the pump mistake pop_batch's empty
+  // result for "closed and drained" and exit — every later ticket.wait()
+  // would hang. Fail loudly instead; the engine validates its own copy,
+  // but the session's cfg is a separate parameter.
+  if (cfg.batch_size == 0) throw std::invalid_argument("batch_size == 0");
+  if (cfg.admission_capacity == 0) {
+    throw std::invalid_argument("admission_capacity == 0");
+  }
+  return cfg;
+}
+}  // namespace
+
+session::session(engine& eng, const common::config& cfg)
+    : eng_(eng),
+      queue_(checked(cfg).admission_capacity),
+      former_(queue_, cfg) {
+  pump_ = std::thread([this] { pump_main(); });
+}
+
+session::~session() { close(); }
+
+session::ticket session::submit(std::unique_ptr<txn::txn_desc> t) {
+  return submit_at(std::move(t), 0);
+}
+
+// Reject malformed plans on the submitting thread: batch::validate()
+// throwing on the pump thread would terminate the process.
+bool session::prepare(const std::unique_ptr<txn::txn_desc>& t) {
+  if (t == nullptr || t->proc == nullptr) return false;
+  // validate_plan checks output slots against the runtime slot vector,
+  // which batch::add sizes from the procedure — size it up front.
+  t->resize_slots(t->proc->slot_count());
+  try {
+    txn::validate_plan(*t);
+  } catch (const std::logic_error&) {
+    return false;
+  }
+  return true;
+}
+
+session::ticket session::submit_at(std::unique_ptr<txn::txn_desc> t,
+                                   std::uint64_t submit_nanos) {
+  auto st = std::make_shared<core::ticket_state>();
+  if (!prepare(t)) {
+    st->complete(txn::txn_status::aborted, 0, 0);
+    return ticket{std::move(st)};
+  }
+  core::admitted_txn a{std::move(t), st, submit_nanos};
+  if (!queue_.submit(std::move(a))) return ticket{};  // closed
+  return ticket{std::move(st)};
+}
+
+bool session::post(std::unique_ptr<txn::txn_desc> t,
+                   std::uint64_t submit_nanos) {
+  if (!prepare(t)) return false;
+  core::admitted_txn a{std::move(t), nullptr, submit_nanos};
+  return queue_.submit(std::move(a));
+}
+
+void session::close() {
+  // call_once makes concurrent close() calls safe: one caller joins, the
+  // others block until it is done. (As with any object, no call — close()
+  // included — may race the destructor itself.)
+  std::call_once(close_once_, [this] {
+    queue_.close();
+    if (pump_.joinable()) pump_.join();
+  });
+}
+
+void session::pump_main() {
+  common::name_self("quecc-pump");
+  for (;;) {
+    auto f = former_.next();
+    if (!f.valid) return;  // queue closed and drained
+
+    const std::uint64_t exec_start = common::now_nanos();
+    eng_.run_batch(f.batch, metrics_);
+    const std::uint64_t exec_done = common::now_nanos();
+    last_commit_nanos_ = exec_done;
+
+    for (std::size_t i = 0; i < f.batch.size(); ++i) {
+      const std::uint64_t submitted = f.submit_nanos[i];
+      const std::uint64_t queue_ns =
+          exec_start > submitted ? exec_start - submitted : 0;
+      const std::uint64_t e2e_ns =
+          exec_done > submitted ? exec_done - submitted : 0;
+      metrics_.queue_latency.record_nanos(queue_ns);
+      metrics_.e2e_latency.record_nanos(e2e_ns);
+      if (f.tickets[i]) {
+        const txn::txn_desc& t = f.batch.at(i);
+        auto& slots = f.tickets[i]->slots;
+        const auto n = static_cast<std::uint16_t>(t.slot_count());
+        slots.resize(n);
+        for (std::uint16_t k = 0; k < n; ++k) slots[k] = t.slot_value(k);
+        f.tickets[i]->complete(t.status.load(std::memory_order_acquire),
+                               queue_ns, e2e_ns);
+      }
+    }
+  }
+}
+
+}  // namespace quecc::proto

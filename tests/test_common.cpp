@@ -129,6 +129,45 @@ TEST(Histogram, EmptyIsZero) {
   common::latency_histogram h;
   EXPECT_EQ(h.percentile_nanos(99), 0.0);
   EXPECT_EQ(h.mean_nanos(), 0.0);
+  EXPECT_EQ(h.percentile_nanos(0), 0.0);
+  EXPECT_EQ(h.percentile_nanos(100), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Histogram, ExtremeQuantilesStayInRecordedRange) {
+  common::latency_histogram h;
+  h.record_nanos(1000);     // bucket ~[512, 1024)
+  h.record_nanos(1000000);  // bucket ~[2^19, 2^20)
+  // q=0 must land in the smallest recorded bucket, q=100 in the largest —
+  // never past the end of the bucket table.
+  EXPECT_LT(h.percentile_nanos(0), 2048.0);
+  EXPECT_GT(h.percentile_nanos(100), 500000.0);
+  EXPECT_LT(h.percentile_nanos(100), 4.0e6);
+  // Out-of-range q values clamp instead of reading out of bounds.
+  EXPECT_EQ(h.percentile_nanos(-5), h.percentile_nanos(0));
+  EXPECT_EQ(h.percentile_nanos(250), h.percentile_nanos(100));
+}
+
+TEST(Histogram, ZeroAndHugeSamplesClampToEdgeBuckets) {
+  common::latency_histogram h;
+  h.record_nanos(0);     // smallest bucket, no underflow
+  h.record_nanos(~0ull); // clamps into the last bucket, no overflow
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GT(h.percentile_nanos(100), h.percentile_nanos(0));
+}
+
+TEST(Histogram, MergeAfterReset) {
+  common::latency_histogram a, b;
+  a.record_nanos(1000);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean_nanos(), 0.0);
+  b.record_nanos(2000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean_nanos(), 2000.0);
+  // The reset sample must not linger in any bucket.
+  EXPECT_GT(a.percentile_nanos(0), 1024.0);
 }
 
 TEST(RunMetrics, ThroughputAndMerge) {
@@ -144,12 +183,44 @@ TEST(RunMetrics, ThroughputAndMerge) {
   EXPECT_EQ(a.aborted, 5u);
 }
 
+TEST(RunMetrics, SummarySplitsQueueAndExecLatency) {
+  common::run_metrics m;
+  m.committed = 10;
+  m.elapsed_seconds = 1.0;
+  m.txn_latency.record_nanos(1000);
+  // Closed-loop runs never record queueing: the summary shows exec only.
+  auto s = m.summary("x");
+  EXPECT_NE(s.find("exec{"), std::string::npos);
+  EXPECT_EQ(s.find("queue{"), std::string::npos);
+  EXPECT_EQ(s.find("e2e{"), std::string::npos);
+  // The async path records the split; both lines must appear.
+  m.queue_latency.record_nanos(5000);
+  m.e2e_latency.record_nanos(6000);
+  s = m.summary("x");
+  EXPECT_NE(s.find("queue{"), std::string::npos);
+  EXPECT_NE(s.find("e2e{"), std::string::npos);
+}
+
+TEST(RunMetrics, MergeCombinesLatencySplit) {
+  common::run_metrics a, b;
+  b.queue_latency.record_nanos(100);
+  b.e2e_latency.record_nanos(200);
+  b.txn_latency.record_nanos(50);
+  a.merge(b);
+  EXPECT_EQ(a.queue_latency.count(), 1u);
+  EXPECT_EQ(a.e2e_latency.count(), 1u);
+  EXPECT_EQ(a.txn_latency.count(), 1u);
+}
+
 TEST(Config, ValidateRejectsNonsense) {
   common::config c;
   c.planner_threads = 0;
   EXPECT_THROW(c.validate(), std::invalid_argument);
   c = common::config{};
   c.batch_size = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = common::config{};
+  c.admission_capacity = 0;
   EXPECT_THROW(c.validate(), std::invalid_argument);
   c = common::config{};
   c.nodes = 8;

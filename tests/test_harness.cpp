@@ -1,10 +1,16 @@
-// Unit tests: harness (runner, report formatting) and targeted
+// Unit tests: harness (runner, report formatting), the async submission
+// path (admission queue, batch former, proto::session), and targeted
 // speculation-recovery scenarios on hand-built batches.
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
+#include "core/admission.hpp"
 #include "core/engine.hpp"
 #include "harness/report.hpp"
 #include "harness/runner.hpp"
+#include "protocols/session.hpp"
 #include "test_util.hpp"
 #include "workload/ycsb.hpp"
 
@@ -52,12 +58,304 @@ TEST(Runner, AggregatesAcrossBatches) {
   cfg.executor_threads = 1;
   core::quecc_engine eng(db, cfg);
 
-  common::rng r(1);
-  const auto res = harness::run_workload(eng, w, db, r, 3, 100);
+  harness::run_options opts;
+  opts.batches = 3;
+  opts.batch_size = 100;
+  opts.seed = 1;
+  const auto res = harness::run_workload(eng, w, db, opts);
   EXPECT_EQ(res.metrics.committed, 300u);
   EXPECT_EQ(res.metrics.batches, 3u);
   EXPECT_EQ(res.final_state_hash, db.state_hash());
   EXPECT_GT(res.metrics.elapsed_seconds, 0.0);
+  // Closed-loop runs record no queueing: there is no admission queue.
+  EXPECT_EQ(res.metrics.queue_latency.count(), 0u);
+}
+
+// --- admission queue + batch former ----------------------------------------
+
+TEST(Admission, BatchClosesOnSize) {
+  core::admission_queue q(64);
+  for (int i = 0; i < 10; ++i) {
+    core::admitted_txn a;
+    a.txn = std::make_unique<txn::txn_desc>();
+    ASSERT_TRUE(q.submit(std::move(a)));
+  }
+  // max=4 closes immediately on size — a huge deadline must not be waited.
+  const auto batch = q.pop_batch(4, /*deadline_micros=*/60'000'000);
+  EXPECT_EQ(batch.size(), 4u);
+  EXPECT_EQ(q.depth(), 6u);
+  EXPECT_EQ(q.admitted(), 10u);
+}
+
+TEST(Admission, DeadlineClosesPartialBatch) {
+  core::admission_queue q(64);
+  core::admitted_txn a;
+  a.txn = std::make_unique<txn::txn_desc>();
+  ASSERT_TRUE(q.submit(std::move(a)));
+  const auto t0 = common::now_nanos();
+  const auto batch = q.pop_batch(1024, /*deadline_micros=*/1000);
+  const auto waited = common::now_nanos() - t0;
+  EXPECT_EQ(batch.size(), 1u);  // partial: deadline fired
+  // The 1ms deadline, not batch fill, must bound the wait. Generous slack
+  // for loaded CI boxes, but tight enough to catch a deadline regression.
+  EXPECT_LT(waited, 500ull * 1'000'000);
+}
+
+// Draining must wake producers blocked on a full queue *during* batch
+// forming, not after it: with capacity < batch size, a willing submitter
+// refills the freed slots and the batch still closes on size, fast —
+// not partial after the full deadline.
+TEST(Admission, DrainWakesBlockedProducersMidBatch) {
+  core::admission_queue q(2);
+  std::thread producer([&] {
+    for (int i = 0; i < 6; ++i) {
+      core::admitted_txn a;
+      a.txn = std::make_unique<txn::txn_desc>();
+      ASSERT_TRUE(q.submit(std::move(a)));  // blocks while full
+    }
+  });
+  const auto t0 = common::now_nanos();
+  const auto batch = q.pop_batch(6, /*deadline_micros=*/10'000'000);
+  const auto waited = common::now_nanos() - t0;
+  producer.join();
+  EXPECT_EQ(batch.size(), 6u);              // closed on size...
+  EXPECT_LT(waited, 5ull * 1'000'000'000);  // ...not on the 10s deadline
+}
+
+TEST(Admission, CloseDrainsThenReturnsEmpty) {
+  core::admission_queue q(8);
+  core::admitted_txn a;
+  a.txn = std::make_unique<txn::txn_desc>();
+  ASSERT_TRUE(q.submit(std::move(a)));
+  q.close();
+  // Still drains what was admitted before the close...
+  EXPECT_EQ(q.pop_batch(8, 0).size(), 1u);
+  // ...then reports drained-and-closed, and rejects new submissions.
+  EXPECT_TRUE(q.pop_batch(8, 0).empty());
+  core::admitted_txn b;
+  b.txn = std::make_unique<txn::txn_desc>();
+  EXPECT_FALSE(q.submit(std::move(b)));
+  EXPECT_FALSE(q.try_submit(b));
+}
+
+TEST(Admission, TrySubmitRespectsCapacity) {
+  core::admission_queue q(2);
+  for (int i = 0; i < 2; ++i) {
+    core::admitted_txn a;
+    a.txn = std::make_unique<txn::txn_desc>();
+    ASSERT_TRUE(q.try_submit(a));
+  }
+  core::admitted_txn overflow;
+  overflow.txn = std::make_unique<txn::txn_desc>();
+  EXPECT_FALSE(q.try_submit(overflow));
+  EXPECT_TRUE(overflow.txn != nullptr);  // rejected submission intact
+  EXPECT_EQ(q.pop_batch(2, 0).size(), 2u);
+  EXPECT_TRUE(q.try_submit(overflow));  // capacity freed
+}
+
+// --- proto::session ---------------------------------------------------------
+
+// Acceptance: a deadline-triggered *partial* batch commits correctly — a
+// session holding fewer than batch_size transactions must not wait for the
+// batch to fill, and its final state must equal a closed-loop run of the
+// same transactions.
+TEST(Session, DeadlinePartialBatchMatchesClosedLoop) {
+  wl::ycsb_config wcfg;
+  wcfg.table_size = 1024;
+  wl::ycsb w(wcfg);
+
+  common::config cfg;
+  cfg.planner_threads = 1;
+  cfg.executor_threads = 1;
+  cfg.batch_size = 1024;  // far more than we will submit
+  cfg.batch_deadline_micros = 2000;
+
+  constexpr std::uint32_t kTxns = 10;
+
+  // Async path: submit 10 transactions, wait on every ticket.
+  storage::database db_async;
+  w.load(db_async);
+  {
+    core::quecc_engine eng(db_async, cfg);
+    proto::session s(eng, cfg);
+    common::rng r(5);
+    std::vector<proto::session::ticket> tickets;
+    for (std::uint32_t i = 0; i < kTxns; ++i) {
+      tickets.push_back(s.submit(w.make_txn(r)));
+    }
+    for (const auto& t : tickets) {
+      ASSERT_TRUE(t.valid());
+      const auto res = t.wait();  // resolves only because the deadline fired
+      EXPECT_EQ(res.status, txn::txn_status::committed);
+      EXPECT_GE(res.e2e_nanos, res.queue_nanos);
+    }
+    s.close();
+    EXPECT_EQ(s.metrics().committed, kTxns);
+    EXPECT_EQ(s.metrics().e2e_latency.count(), kTxns);
+    // Every batch was deadline-closed: none reached batch_size.
+    EXPECT_GE(s.batches_formed(), 1u);
+  }
+
+  // Closed-loop reference: the same generator stream through run_batch.
+  storage::database db_ref;
+  w.load(db_ref);
+  {
+    core::quecc_engine eng(db_ref, cfg);
+    common::rng r(5);
+    auto b = w.make_batch(r, kTxns);
+    common::run_metrics m;
+    eng.run_batch(b, m);
+  }
+
+  EXPECT_EQ(db_async.state_hash(), db_ref.state_hash());
+}
+
+// Acceptance: open-loop runs measure queueing — end-to-end latency
+// (submit -> commit) must exceed pure execution latency, which is all a
+// closed-loop replay can see.
+TEST(Runner, OpenLoopMeasuresQueueingDelay) {
+  wl::ycsb_config wcfg;
+  wcfg.table_size = 1024;
+  wl::ycsb w(wcfg);
+  storage::database db;
+  w.load(db);
+
+  common::config cfg;
+  cfg.planner_threads = 1;
+  cfg.executor_threads = 1;
+  core::quecc_engine eng(db, cfg);
+
+  harness::run_options opts;
+  opts.mode = harness::arrival_mode::open_loop;
+  opts.batches = 2;
+  opts.batch_size = 128;
+  opts.seed = 1;
+  opts.offered_load_tps = 50'000;
+  opts.batch_deadline_micros = 1000;
+  const auto res = harness::run_workload(eng, w, db, opts);
+
+  const auto total = opts.total_txns();
+  EXPECT_EQ(res.metrics.committed, total);
+  EXPECT_EQ(res.metrics.queue_latency.count(), total);
+  EXPECT_EQ(res.metrics.e2e_latency.count(), total);
+  EXPECT_EQ(res.offered_load_tps, opts.offered_load_tps);
+
+  // Submit->commit includes queueing for a batch to form, so it strictly
+  // dominates the execution-only histogram.
+  EXPECT_GT(res.metrics.e2e_latency.mean_nanos(),
+            res.metrics.txn_latency.mean_nanos());
+  EXPECT_GE(res.metrics.e2e_latency.percentile_nanos(50),
+            res.metrics.txn_latency.percentile_nanos(50));
+  EXPECT_GE(res.metrics.e2e_latency.percentile_nanos(99),
+            res.metrics.txn_latency.percentile_nanos(99));
+
+  // Determinism across arrival timing: the open-loop run commits the same
+  // transaction stream a closed-loop run would.
+  storage::database db_ref;
+  w.load(db_ref);
+  core::quecc_engine eng_ref(db_ref, cfg);
+  harness::run_options closed = opts;
+  closed.mode = harness::arrival_mode::closed_loop;
+  const auto ref = harness::run_workload(eng_ref, w, db_ref, closed);
+  EXPECT_EQ(res.final_state_hash, ref.final_state_hash);
+}
+
+// A malformed plan must not reach the pump thread (where a validation
+// throw would terminate the process): it is rejected at submit, resolving
+// as aborted, and the session keeps serving well-formed transactions.
+TEST(Session, MalformedPlanRejectedAtSubmit) {
+  wl::ycsb_config wcfg;
+  wcfg.table_size = 256;
+  wl::ycsb w(wcfg);
+  storage::database db;
+  w.load(db);
+
+  common::config cfg;
+  cfg.planner_threads = 1;
+  cfg.executor_threads = 1;
+  cfg.batch_deadline_micros = 500;
+  core::quecc_engine eng(db, cfg);
+  proto::session s(eng, cfg);
+  common::rng r(4);
+
+  auto bad = w.make_txn(r);
+  ASSERT_GT(bad->frags.size(), 1u);
+  bad->frags[0].idx = 7;  // violates "fragment idx values are 0..n-1"
+  auto bad_ticket = s.submit(std::move(bad));
+  ASSERT_TRUE(bad_ticket.valid());
+  EXPECT_EQ(bad_ticket.wait().status, txn::txn_status::aborted);
+
+  auto null_ticket = s.submit(nullptr);
+  ASSERT_TRUE(null_ticket.valid());
+  EXPECT_EQ(null_ticket.wait().status, txn::txn_status::aborted);
+
+  auto bad2 = w.make_txn(r);
+  bad2->frags[0].idx = 7;
+  EXPECT_FALSE(s.post(std::move(bad2)));  // fire-and-forget path too
+
+  auto good = s.submit(w.make_txn(r));
+  EXPECT_EQ(good.wait().status, txn::txn_status::committed);
+  s.close();
+  EXPECT_EQ(s.metrics().committed, 1u);
+}
+
+TEST(Session, SubmitAfterCloseReturnsInvalidTicket) {
+  wl::ycsb_config wcfg;
+  wcfg.table_size = 256;
+  wl::ycsb w(wcfg);
+  storage::database db;
+  w.load(db);
+
+  common::config cfg;
+  cfg.planner_threads = 1;
+  cfg.executor_threads = 1;
+  core::quecc_engine eng(db, cfg);
+  proto::session s(eng, cfg);
+  common::rng r(3);
+  auto live = s.submit(w.make_txn(r));
+  EXPECT_TRUE(live.valid());
+  s.close();
+  auto dead = s.submit(w.make_txn(r));
+  EXPECT_FALSE(dead.valid());
+  // wait() on an invalid ticket resolves immediately as aborted.
+  EXPECT_EQ(dead.wait().status, txn::txn_status::aborted);
+  EXPECT_FALSE(s.post(w.make_txn(r)));
+  EXPECT_EQ(live.wait().status, txn::txn_status::committed);
+}
+
+TEST(Session, ConstructorRejectsZeroBatchSize) {
+  wl::ycsb_config wcfg;
+  wcfg.table_size = 256;
+  wl::ycsb w(wcfg);
+  storage::database db;
+  w.load(db);
+  common::config cfg;
+  cfg.planner_threads = 1;
+  cfg.executor_threads = 1;
+  core::quecc_engine eng(db, cfg);
+  cfg.batch_size = 0;  // would silently kill the pump: tickets hang forever
+  EXPECT_THROW(proto::session(eng, cfg), std::invalid_argument);
+  cfg = common::config{};
+  cfg.admission_capacity = 0;
+  EXPECT_THROW(proto::session(eng, cfg), std::invalid_argument);
+}
+
+TEST(Runner, OpenLoopRejectsNonPositiveLoad) {
+  wl::ycsb_config wcfg;
+  wcfg.table_size = 256;
+  wl::ycsb w(wcfg);
+  storage::database db;
+  w.load(db);
+  common::config cfg;
+  cfg.planner_threads = 1;
+  cfg.executor_threads = 1;
+  core::quecc_engine eng(db, cfg);
+
+  harness::run_options opts;
+  opts.mode = harness::arrival_mode::open_loop;
+  opts.offered_load_tps = 0;
+  EXPECT_THROW(harness::run_workload(eng, w, db, opts),
+               std::invalid_argument);
 }
 
 // --- targeted speculation-recovery scenarios --------------------------------
