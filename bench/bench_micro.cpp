@@ -2,11 +2,14 @@
 // the hot-path costs that the experiment benches aggregate.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/spinlock.hpp"
 #include "common/zipf.hpp"
 #include "core/admission.hpp"
 #include "core/planner.hpp"
+#include "log/log_writer.hpp"
+#include "log/plan_codec.hpp"
 #include "storage/database.hpp"
 #include "txn/txn_context.hpp"
 #include "workload/ycsb.hpp"
@@ -113,6 +116,56 @@ void BM_AdmissionSubmitDrain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_AdmissionSubmitDrain)->Arg(256)->Arg(2048);
+
+/// Buffered append only: the cost a batch record adds to the planning
+/// phase (group commit defers the fsync off this path).
+void BM_LogAppend(benchmark::State& state) {
+  benchutil::scratch_dir dir;
+  log::log_writer w(dir.path, {});
+  std::vector<std::byte> payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.append(log::record_type::batch, payload));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LogAppend)->Arg(256)->Arg(4096)->Arg(1 << 16);
+
+/// Append + durable ack: what a synchronous commit pays per batch. The
+/// gap to BM_LogAppend is the group-commit fsync; `batch` appends share
+/// one wait, modelling `batch` commit records coalescing into one sync.
+void BM_LogGroupCommit(benchmark::State& state) {
+  benchutil::scratch_dir dir;
+  log::writer_options opts;
+  opts.group_commit_micros = 100;
+  log::log_writer w(dir.path, opts);
+  const auto batch = static_cast<std::uint32_t>(state.range(0));
+  std::vector<std::byte> payload(512);
+  for (auto _ : state) {
+    log::log_writer::lsn_t last = 0;
+    for (std::uint32_t i = 0; i < batch; ++i) {
+      last = w.append(log::record_type::commit, payload);
+    }
+    w.wait_durable(last);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_LogGroupCommit)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_PlanCodecEncode(benchmark::State& state) {
+  wl::ycsb_config wcfg;
+  wcfg.table_size = 1 << 16;
+  auto w = wl::ycsb(wcfg);
+  common::rng r(1);
+  auto b = w.make_batch(r, static_cast<std::uint32_t>(state.range(0)));
+  std::vector<std::byte> out;
+  for (auto _ : state) {
+    out.clear();
+    log::encode_batch(b, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PlanCodecEncode)->Arg(256)->Arg(2048);
 
 void BM_StateHash(benchmark::State& state) {
   wl::ycsb_config wcfg;

@@ -13,15 +13,23 @@
 // Expect the classic open-loop shape: e2e latency sits near
 // (batch-fill-or-deadline time + execution) at low load and climbs
 // steeply as the offered load approaches capacity.
+// --durable additionally sweeps the same offered loads against a durable
+// engine (command log + per-batch group-commit fsync, scratch log dir):
+// the spread between the plain and durable rows is the fsync cost, visible
+// in the e2e latency split while the execution-only column stays put.
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
+#include <memory>
 
 #include "bench_util.hpp"
 #include "workload/ycsb.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace quecc;
+  const bool durable_mode =
+      argc > 1 && std::strcmp(argv[1], "--durable") == 0;
   const harness::run_options s = benchutil::scaled(8, 1024);
 
   auto make = []() -> std::unique_ptr<wl::workload> {
@@ -49,32 +57,51 @@ int main() {
       "closed-loop capacity ~%.0f txn/s\n\n",
       s.total_txns(), s.batch_size, s.batch_deadline_micros, capacity);
 
-  harness::table_printer table({"offered", "achieved", "p50 queue",
+  harness::table_printer table({"mode", "offered", "achieved", "p50 queue",
                                 "p99 queue", "p50 e2e", "p99 e2e",
                                 "p50 exec"});
 
-  for (const double frac : {0.25, 0.5, 0.75, 0.9}) {
+  auto us = [](double ns) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0fus", ns / 1e3);
+    return std::string(buf);
+  };
+  auto sweep_point = [&](double frac, bool durable) {
     harness::run_options o = s;
     o.mode = harness::arrival_mode::open_loop;
     o.offered_load_tps = capacity * frac;
-    const auto m = benchutil::run_engine("quecc", cfg, make, o);
-
-    auto us = [](double ns) {
-      char buf[32];
-      std::snprintf(buf, sizeof buf, "%.0fus", ns / 1e3);
-      return std::string(buf);
-    };
-    table.row({harness::format_rate(o.offered_load_tps),
+    o.durability = durable;
+    common::config c = cfg;
+    std::unique_ptr<benchutil::scratch_dir> log_dir;
+    if (durable) {
+      log_dir = std::make_unique<benchutil::scratch_dir>();
+      c.durable = true;
+      c.log_dir = log_dir->path;
+    }
+    const auto m = benchutil::run_engine("quecc", c, make, o);
+    table.row({durable ? "durable" : "memory",
+               harness::format_rate(o.offered_load_tps),
                harness::format_rate(m.throughput()),
                us(m.queue_latency.percentile_nanos(50)),
                us(m.queue_latency.percentile_nanos(99)),
                us(m.e2e_latency.percentile_nanos(50)),
                us(m.e2e_latency.percentile_nanos(99)),
                us(m.txn_latency.percentile_nanos(50))});
+  };
+
+  for (const double frac : {0.25, 0.5, 0.75, 0.9}) {
+    sweep_point(frac, false);
+    if (durable_mode) sweep_point(frac, true);
   }
   table.print();
   std::printf(
       "\nqueueing delay is the gap between e2e and exec: invisible to the\n"
       "closed-loop benches, dominant as offered load approaches capacity.\n");
+  if (durable_mode) {
+    std::printf(
+        "durable rows log every batch and fsync its commit record before\n"
+        "acking (group commit): the e2e gap vs the memory rows is the\n"
+        "price of durability; exec latency is untouched.\n");
+  }
   return 0;
 }

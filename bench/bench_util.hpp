@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdlib>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <string>
@@ -17,6 +18,25 @@
 #include "workload/workload.hpp"
 
 namespace quecc::benchutil {
+
+/// Scratch directory (e.g. a durable engine's log dir), removed on scope
+/// exit — RAII so a throwing bench run cannot leak it.
+struct scratch_dir {
+  scratch_dir() {
+    std::string tmpl = (std::filesystem::temp_directory_path() /
+                        "quecc-bench-XXXXXX")
+                           .string();
+    if (::mkdtemp(tmpl.data()) == nullptr) std::abort();
+    path = tmpl;
+  }
+  ~scratch_dir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  scratch_dir(const scratch_dir&) = delete;
+  scratch_dir& operator=(const scratch_dir&) = delete;
+  std::string path;
+};
 
 /// Closed-loop run options at bench scale, shrunk under QUECC_BENCH_QUICK.
 inline harness::run_options scaled(std::uint32_t batches,

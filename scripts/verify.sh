@@ -7,5 +7,7 @@ cd "$(dirname "$0")/.."
 
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
-cd build
-ctest --output-on-failure -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+# Durability: kill -9 a durable run mid-flight, recover, compare hashes.
+./scripts/recovery_smoke.sh build

@@ -32,6 +32,13 @@ std::string config::describe() const {
      << "us parts=" << partitions << " " << to_string(execution) << "/"
      << to_string(iso);
   if (nodes > 1) os << " nodes=" << nodes << " lat=" << net_latency_micros << "us";
+  if (durable) {
+    os << " durable(log=" << log_dir << " gc=" << group_commit_micros << "us";
+    if (checkpoint_interval_batches > 0) {
+      os << " ckpt=" << checkpoint_interval_batches;
+    }
+    os << ")";
+  }
   return os.str();
 }
 
@@ -47,6 +54,10 @@ void config::validate() const {
   if (nodes == 0) throw std::invalid_argument("nodes == 0");
   if (nodes > partitions)
     throw std::invalid_argument("nodes must not exceed partitions");
+  if (durable && log_dir.empty())
+    throw std::invalid_argument("durable requires a log_dir");
+  if (durable && log_segment_bytes == 0)
+    throw std::invalid_argument("log_segment_bytes == 0");
 }
 
 }  // namespace quecc::common

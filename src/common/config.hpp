@@ -50,6 +50,31 @@ struct config {
   /// Bounded depth of the client admission queue; submit() blocks when the
   /// queue is full (backpressure instead of unbounded memory growth).
   std::uint32_t admission_capacity = 1u << 16;
+  /// Per-client-session cap on transactions waiting in the admission queue
+  /// (0 = unlimited). With a cap below the queue capacity, one greedy
+  /// session can no longer fill the whole queue and starve the others —
+  /// its submits block while other sessions still find room.
+  std::uint32_t admission_session_cap = 0;
+
+  // --- durability (queue-oriented command log, src/log/) ------------------
+  /// Log planned batches + commit records to `log_dir` and acknowledge
+  /// clients only after the commit record is fsynced. Only the
+  /// queue-oriented engine ("quecc") implements this; other engines ignore
+  /// it. Requires a non-empty log_dir.
+  bool durable = false;
+  std::string log_dir;
+  /// Group-commit window: fsyncs are coalesced so every record appended
+  /// within one window shares a single fsync.
+  std::uint32_t group_commit_micros = 200;
+  /// Take a consistent snapshot + truncate the log every N batches
+  /// (0 = never checkpoint; recovery then replays the whole log).
+  std::uint32_t checkpoint_interval_batches = 0;
+  /// Size-based log segment rotation threshold.
+  std::uint64_t log_segment_bytes = 64ull << 20;
+  /// Record database::state_hash in every commit record (full table scan
+  /// per batch — test/debug aid, not a production default); recovery then
+  /// verifies replay batch by batch.
+  bool log_verify_hash = false;
 
   // --- paradigm options --------------------------------------------------
   exec_model execution = exec_model::speculative;

@@ -5,14 +5,23 @@
 
 namespace quecc::core {
 
-admission_queue::admission_queue(std::size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
+admission_queue::admission_queue(std::size_t capacity,
+                                 std::uint32_t session_cap)
+    : capacity_(capacity == 0 ? 1 : capacity), session_cap_(session_cap) {}
+
+bool admission_queue::has_room(const admitted_txn& t) const {
+  if (q_.size() >= capacity_) return false;
+  if (session_cap_ == 0) return true;
+  const auto it = per_session_.find(t.client);
+  return it == per_session_.end() || it->second < session_cap_;
+}
 
 bool admission_queue::submit(admitted_txn t) {
   if (t.submit_nanos == 0) t.submit_nanos = common::now_nanos();
   std::unique_lock lk(mu_);
-  not_full_.wait(lk, [&] { return q_.size() < capacity_ || closed_; });
+  not_full_.wait(lk, [&] { return has_room(t) || closed_; });
   if (closed_) return false;
+  if (session_cap_ != 0) ++per_session_[t.client];
   q_.push_back(std::move(t));
   ++admitted_;
   lk.unlock();
@@ -23,8 +32,9 @@ bool admission_queue::submit(admitted_txn t) {
 bool admission_queue::try_submit(admitted_txn& t) {
   {
     std::lock_guard lk(mu_);
-    if (closed_ || q_.size() >= capacity_) return false;
+    if (closed_ || !has_room(t)) return false;
     if (t.submit_nanos == 0) t.submit_nanos = common::now_nanos();
+    if (session_cap_ != 0) ++per_session_[t.client];
     q_.push_back(std::move(t));
     ++admitted_;
   }
@@ -50,6 +60,12 @@ std::vector<admitted_txn> admission_queue::pop_batch(
   for (;;) {
     const bool drained = !q_.empty() && out.size() < max;
     while (!q_.empty() && out.size() < max) {
+      if (session_cap_ != 0) {
+        const auto it = per_session_.find(q_.front().client);
+        if (it != per_session_.end() && --it->second == 0) {
+          per_session_.erase(it);
+        }
+      }
       out.push_back(std::move(q_.front()));
       q_.pop_front();
     }
@@ -85,6 +101,12 @@ bool admission_queue::closed() const {
 std::size_t admission_queue::depth() const {
   std::lock_guard lk(mu_);
   return q_.size();
+}
+
+std::uint32_t admission_queue::in_queue(std::uint32_t client) const {
+  std::lock_guard lk(mu_);
+  const auto it = per_session_.find(client);
+  return it == per_session_.end() ? 0 : it->second;
 }
 
 std::uint64_t admission_queue::admitted() const {

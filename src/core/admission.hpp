@@ -19,6 +19,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "common/config.hpp"
@@ -62,6 +63,9 @@ struct admitted_txn {
   std::unique_ptr<txn::txn_desc> txn;
   std::shared_ptr<ticket_state> ticket;  ///< may be null (fire-and-forget)
   std::uint64_t submit_nanos = 0;        ///< 0 = stamp at admission time
+  /// Logical client session the submission belongs to; the per-session
+  /// admission cap (config::admission_session_cap) is keyed on it.
+  std::uint32_t client = 0;
 };
 
 /// Bounded multi-producer / single-consumer admission queue.
@@ -73,11 +77,17 @@ struct admitted_txn {
 /// from buffering the whole offered load in memory.
 class admission_queue {
  public:
-  explicit admission_queue(std::size_t capacity);
+  /// `session_cap` (0 = unlimited) additionally bounds how many queued
+  /// transactions any one client session (admitted_txn::client) may hold:
+  /// a greedy session blocks on its own cap while the shared capacity
+  /// still has room for everyone else — the fairness knob
+  /// config::admission_session_cap plumbs through here.
+  explicit admission_queue(std::size_t capacity,
+                           std::uint32_t session_cap = 0);
 
-  /// Enqueue, blocking while the queue is full. Stamps
-  /// `t.submit_nanos = now` when the caller left it 0. Returns false (and
-  /// drops `t`) when the queue was closed.
+  /// Enqueue, blocking while the queue is full or the submitter's session
+  /// cap is reached. Stamps `t.submit_nanos = now` when the caller left it
+  /// 0. Returns false (and drops `t`) when the queue was closed.
   bool submit(admitted_txn t);
 
   /// Non-blocking enqueue; returns false, leaving `t` intact, when the
@@ -99,15 +109,22 @@ class admission_queue {
   bool closed() const;
   std::size_t depth() const;
   std::size_t capacity() const noexcept { return capacity_; }
+  std::uint32_t session_cap() const noexcept { return session_cap_; }
+  /// Queued transactions currently held by `client` (tests).
+  std::uint32_t in_queue(std::uint32_t client) const;
   /// Total transactions ever admitted (monotonic; for stats/tests).
   std::uint64_t admitted() const;
 
  private:
+  bool has_room(const admitted_txn& t) const;  // callers hold mu_
+
   const std::size_t capacity_;
+  const std::uint32_t session_cap_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;   // producers wait here
   std::condition_variable not_empty_;  // the former waits here
   std::deque<admitted_txn> q_;
+  std::unordered_map<std::uint32_t, std::uint32_t> per_session_;
   std::uint64_t admitted_ = 0;
   bool closed_ = false;
 };

@@ -4,6 +4,9 @@
 #include <unordered_set>
 
 #include "common/thread_util.hpp"
+#include "log/checkpoint.hpp"
+#include "log/log_writer.hpp"
+#include "log/plan_codec.hpp"
 
 namespace quecc::core {
 
@@ -49,6 +52,12 @@ quecc_engine::quecc_engine(storage::database& db, const common::config& cfg)
   cfg_.validate();
   if (cfg_.iso == common::isolation::read_committed) {
     committed_ = std::make_unique<storage::dual_version_store>(db_);
+  }
+  if (cfg_.durable) {
+    wal_ = std::make_unique<log::log_writer>(
+        cfg_.log_dir, log::writer_options{cfg_.group_commit_micros,
+                                          cfg_.log_segment_bytes});
+    ckpt_ = std::make_unique<log::checkpointer>(cfg_.log_dir);
   }
   pipe_.build(cfg_, db_, committed_.get());
 
@@ -108,12 +117,20 @@ void quecc_engine::run_batch(txn::batch& b, common::run_metrics& m) {
 
   sync_.arrive_and_wait();  // (1) release planners
   const double t0 = sw.seconds();
+  // Batch (command) record at plan time: the serialized plan is the whole
+  // redo log — execution is a deterministic function of it. Encoding and
+  // appending overlap the planning phase; the main thread is otherwise
+  // idle between barriers (1) and (2).
+  if (wal_) log_batch_record(b);
   sync_.arrive_and_wait();  // (2) planning done, release executors
   const double t1 = sw.seconds();
   sync_.arrive_and_wait();  // (3) execution done
   const double t2 = sw.seconds();
 
   epilogue(b, m);
+  // Commit record after the commit barrier (statuses are final); the
+  // group-commit flusher picks it up, sync_durable() waits for it.
+  if (wal_) log_commit_record(b);
   phases_.plan_seconds = t1 - t0;
   phases_.exec_seconds = t2 - t1;
   phases_.epilogue_seconds = sw.seconds() - t2;
@@ -180,6 +197,48 @@ recovery_stats batch_epilogue(
 void quecc_engine::epilogue(txn::batch& b, common::run_metrics& m) {
   last_rec_ =
       batch_epilogue(db_, cfg_, b, pipe_.executors, spec_, committed_.get(), m);
+}
+
+void quecc_engine::log_batch_record(const txn::batch& b) {
+  std::vector<std::byte> payload;
+  log::encode_batch(b, payload);
+  wal_->append(log::record_type::batch, payload);
+}
+
+void quecc_engine::log_commit_record(const txn::batch& b) {
+  log::commit_info c;
+  c.batch_id = b.id();
+  c.txn_count = static_cast<std::uint32_t>(b.size());
+  for (const auto& t : b) {
+    if (t->aborted()) {
+      ++c.aborted;
+    } else {
+      ++c.committed;
+    }
+  }
+  durable_stream_pos_ += b.size();
+  c.stream_pos = durable_stream_pos_;
+  c.state_hash = cfg_.log_verify_hash ? db_.state_hash() : 0;
+
+  std::vector<std::byte> payload;
+  log::encode_commit(c, payload);
+  last_commit_lsn_ = wal_->append(log::record_type::commit, payload);
+  wal_->request_flush();
+
+  // Batch-boundary checkpoint: we sit at the inter-batch quiescent point,
+  // so the snapshot is transaction-consistent by construction. The new
+  // checkpoint covers every logged batch; rotate and drop the old
+  // segments (checkpoint file + manifest land before any deletion).
+  if (cfg_.checkpoint_interval_batches > 0 &&
+      ++batches_since_ckpt_ >= cfg_.checkpoint_interval_batches) {
+    batches_since_ckpt_ = 0;
+    ckpt_->take(db_, b.id(), durable_stream_pos_, wal_->segment_index() + 1);
+    wal_->rotate_and_truncate();
+  }
+}
+
+void quecc_engine::sync_durable() {
+  if (wal_) wal_->wait_durable(last_commit_lsn_);
 }
 
 }  // namespace quecc::core

@@ -30,6 +30,11 @@
 #include "protocols/iface.hpp"
 #include "storage/dual_version.hpp"
 
+namespace quecc::log {
+class log_writer;
+class checkpointer;
+}  // namespace quecc::log
+
 namespace quecc::core {
 
 /// Shared commit epilogue: speculative recovery, status marking, metrics,
@@ -72,6 +77,13 @@ class quecc_engine final : public proto::engine {
   const char* name() const noexcept override { return "quecc"; }
   void run_batch(txn::batch& b, common::run_metrics& m) override;
 
+  /// Durable barrier: block until the commit record of the most recent
+  /// batch is fsynced (no-op when cfg.durable is off). See iface.hpp.
+  void sync_durable() override;
+
+  /// The command log, when cfg.durable enabled one (tests/introspection).
+  log::log_writer* wal() const noexcept { return wal_.get(); }
+
   /// Stats of the most recent batch's speculative recovery (tests).
   const recovery_stats& last_recovery() const noexcept { return last_rec_; }
 
@@ -89,6 +101,8 @@ class quecc_engine final : public proto::engine {
   void planner_main(worker_id_t p);
   void executor_main(worker_id_t e);
   void epilogue(txn::batch& b, common::run_metrics& m);
+  void log_batch_record(const txn::batch& b);
+  void log_commit_record(const txn::batch& b);
 
   storage::database& db_;
   common::config cfg_;
@@ -105,6 +119,13 @@ class quecc_engine final : public proto::engine {
   std::vector<std::thread> threads_;
   recovery_stats last_rec_;
   phase_stats phases_;
+
+  // --- durability (cfg_.durable; see src/log/) ---------------------------
+  std::unique_ptr<log::log_writer> wal_;
+  std::unique_ptr<log::checkpointer> ckpt_;
+  std::uint64_t last_commit_lsn_ = 0;   ///< wait target for sync_durable()
+  std::uint64_t durable_stream_pos_ = 0;  ///< cumulative txns logged
+  std::uint32_t batches_since_ckpt_ = 0;
 };
 
 }  // namespace quecc::core

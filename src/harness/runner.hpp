@@ -43,6 +43,16 @@ struct run_options {
   std::uint32_t admission_capacity =
       common::config{}.admission_capacity;  ///< bounded admission queue
 
+  // --- durability ---------------------------------------------------------
+  /// Treat the run as durable: the closed loop waits on
+  /// engine::sync_durable() after every batch (per-batch durable ack, the
+  /// fsync wait charged to elapsed time) and both loops sync before the
+  /// final state hash is taken. The engine must have been built with
+  /// config::durable; against an in-memory engine this is a no-op. The
+  /// open-loop path gets per-batch durable acks from proto::session
+  /// regardless of this flag.
+  bool durability = false;
+
   std::uint64_t total_txns() const noexcept {
     return static_cast<std::uint64_t>(batches) * batch_size;
   }

@@ -1,0 +1,83 @@
+// Batch-boundary checkpoints + the recovery manifest.
+//
+// The paradigm hands us consistency for free: between run_batch calls no
+// transaction is in flight, so a snapshot taken at a batch boundary is a
+// transaction-consistent image — no fuzzy-checkpoint machinery, no
+// copy-on-write, just a walk of every table's live rows
+// (table::for_each_live). A checkpoint bounds recovery work and lets the
+// command log be truncated: batches at or below the checkpoint are covered
+// by the snapshot and their segments can be deleted.
+//
+// Crash safety is by ordering + atomic rename:
+//   1. write checkpoint-<B>.qck.tmp, fsync, rename to checkpoint-<B>.qck
+//   2. write MANIFEST.tmp (new checkpoint, segment_base = next segment),
+//      fsync, rename to MANIFEST
+//   3. rotate the log and delete older segments / older checkpoints
+// A crash in any window leaves either the old manifest with its segments
+// intact, or the new manifest whose checkpoint file is already durable —
+// recovery never sees a half-written state it would trust (a torn .tmp is
+// simply ignored; a torn renamed file fails its CRC).
+//
+// Checkpoint file format (little-endian):
+//   u32 magic "QCKP" | u32 version | u32 batch_id | u64 stream_pos
+//   | u64 state_hash | u32 table_count
+//   per table: u16 name_len | name | u32 row_size | u64 row_count
+//              | row_count * (u64 key | row_size payload bytes)
+//   trailing u32 crc32 over everything before it
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "storage/database.hpp"
+
+namespace quecc::log {
+
+/// Sentinel batch id meaning "no checkpoint taken yet".
+inline constexpr std::uint32_t kNoCheckpoint = 0xFFFFFFFFu;
+
+/// What the MANIFEST records about the latest checkpoint.
+struct checkpoint_meta {
+  std::uint32_t batch_id = kNoCheckpoint;
+  std::uint64_t stream_pos = 0;   ///< txns through the checkpointed batch
+  std::uint64_t state_hash = 0;   ///< database::state_hash at the boundary
+  std::string file;               ///< checkpoint file name within the dir
+  std::uint32_t segment_base = 0; ///< first log segment to replay from
+};
+
+class checkpointer {
+ public:
+  explicit checkpointer(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Snapshot `db` as of the boundary after `batch_id` and publish it via
+  /// the manifest with `segment_base` as the first live segment (the
+  /// caller rotates the log to that index right after). Requires the
+  /// inter-batch quiescent point: no concurrent writers. Old checkpoint
+  /// files are pruned once the manifest points at the new one.
+  checkpoint_meta take(const storage::database& db, std::uint32_t batch_id,
+                       std::uint64_t stream_pos, std::uint32_t segment_base);
+
+  const std::string& dir() const noexcept { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+/// Parse MANIFEST; nullopt when absent (fresh log, no checkpoint). Throws
+/// std::runtime_error on a malformed manifest.
+std::optional<checkpoint_meta> read_manifest(const std::string& dir);
+
+/// Atomically (tmp + rename) write MANIFEST.
+void write_manifest(const std::string& dir, const checkpoint_meta& m);
+
+/// Restore `path` into `db`, which must already hold the checkpoint's
+/// tables (create them by loading the workload first). Every table is
+/// driven to exactly the snapshot's logical contents: missing keys are
+/// inserted, extra keys erased, payloads overwritten. Verifies the file
+/// CRC and the recorded state hash; throws std::runtime_error on mismatch.
+/// Returns the checkpoint's metadata as read from the file.
+checkpoint_meta restore_checkpoint(const std::string& path,
+                                   storage::database& db);
+
+}  // namespace quecc::log

@@ -1,0 +1,60 @@
+// Crash recovery: checkpoint restore + committed-batch replay.
+//
+// Because the engine is deterministic, recovery is just "run the log":
+//   1. load the latest checkpoint named by MANIFEST (if any),
+//   2. scan the live segments for batch records and commit records,
+//      dropping a torn tail,
+//   3. re-execute, in batch-id order, every logged batch that has a commit
+//      record and is newer than the checkpoint — through the engine's
+//      normal two-phase run_batch, exactly like the first time,
+//   4. verify database::state_hash against the hashes recorded at commit
+//      time (when the writer recorded them).
+// A batch record without a commit record means the crash hit between the
+// planning-time append and the post-commit-barrier append: the batch was
+// never acknowledged, so replay skips it (it is counted, not applied).
+//
+// The caller owns setup: load the workload into `db` first (recovery
+// assumes the initial population, like the engine did), and pass a
+// *non-durable* engine — replaying through a durable engine would append
+// the log to itself (and log_writer refuses a non-empty directory anyway).
+#pragma once
+
+#include <string>
+
+#include "log/checkpoint.hpp"
+#include "log/plan_codec.hpp"
+#include "protocols/iface.hpp"
+#include "workload/workload.hpp"
+
+namespace quecc::log {
+
+struct recovery_result {
+  bool checkpoint_loaded = false;
+  std::uint32_t checkpoint_batch = kNoCheckpoint;
+  std::uint32_t batches_replayed = 0;
+  /// Batch records with no commit record (crash before the commit barrier
+  /// became durable) — skipped, never applied.
+  std::uint32_t batches_skipped = 0;
+  bool torn_tail = false;  ///< a truncated/corrupt trailing frame was dropped
+  /// Position in the transaction stream after recovery: cumulative
+  /// transactions across the checkpoint and every replayed batch. A
+  /// deterministic workload can be resumed from here (skip this many
+  /// generated transactions and continue).
+  std::uint64_t txns_applied = 0;
+  /// One past the newest applied batch id (0 when nothing was applied).
+  std::uint32_t next_batch_id = 0;
+  std::uint64_t state_hash = 0;  ///< database::state_hash after recovery
+  common::run_metrics replay_metrics;
+};
+
+/// Recover `dir` into `db` by replaying through `eng`. Throws
+/// std::runtime_error / codec_error on corruption that cannot be treated
+/// as a torn tail (bad checkpoint CRC, recorded-hash mismatch, unknown
+/// procedure names).
+recovery_result recover(const std::string& dir, storage::database& db,
+                        proto::engine& eng, const proc_resolver& procs);
+
+/// Resolver over a workload's own procedures (workload::find_procedure).
+proc_resolver resolver_for(wl::workload& w);
+
+}  // namespace quecc::log

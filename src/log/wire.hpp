@@ -1,0 +1,94 @@
+// Little-endian wire primitives shared by the durability codecs: plan /
+// commit records (plan_codec.cpp) and checkpoint files (checkpoint.cpp).
+// Internal to src/log/ — the on-disk formats are documented at their
+// call sites.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "log/plan_codec.hpp"  // codec_error
+
+namespace quecc::log::wire {
+
+inline void put_u8(std::vector<std::byte>& out, std::uint8_t v) {
+  out.push_back(static_cast<std::byte>(v));
+}
+
+inline void put_u16(std::vector<std::byte>& out, std::uint16_t v) {
+  put_u8(out, static_cast<std::uint8_t>(v));
+  put_u8(out, static_cast<std::uint8_t>(v >> 8));
+}
+
+inline void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    put_u8(out, static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    put_u8(out, static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+/// Bounds-checked sequential reader; every decoder shares it so truncated
+/// input is always a codec_error, never UB. `what` prefixes error messages
+/// ("plan_codec", "checkpoint", ...).
+class reader {
+ public:
+  reader(std::span<const std::byte> in, const char* what)
+      : in_(in), what_(what) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(in_[pos_++]);
+  }
+  std::uint16_t u16() {
+    const auto lo = u8();
+    return static_cast<std::uint16_t>(
+        lo | (static_cast<std::uint16_t>(u8()) << 8));
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    }
+    return v;
+  }
+  std::string str(std::size_t n) {
+    need(n);
+    std::string s(reinterpret_cast<const char*>(in_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  std::span<const std::byte> bytes(std::size_t n) {
+    need(n);
+    auto s = in_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  bool exhausted() const noexcept { return pos_ == in_.size(); }
+
+ private:
+  void need(std::size_t n) {
+    if (in_.size() - pos_ < n) {
+      throw codec_error(std::string(what_) + ": truncated input");
+    }
+  }
+  std::span<const std::byte> in_;
+  const char* what_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace quecc::log::wire

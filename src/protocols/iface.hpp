@@ -34,6 +34,14 @@ class engine {
   virtual const std::vector<seq_t>* commit_order() const noexcept {
     return nullptr;
   }
+
+  /// Block until every batch run so far is durable on stable storage.
+  /// No-op for engines without a durability layer (everything except the
+  /// queue-oriented engine under config::durable). proto::session calls
+  /// this after each batch, before resolving tickets, which is what makes
+  /// ticket::wait a *durable* acknowledgement; the closed-loop harness
+  /// calls it when run_options::durability is set.
+  virtual void sync_durable() {}
 };
 
 /// Instantiate an engine by name. Centralized:

@@ -35,15 +35,16 @@ const common::config& checked(const common::config& cfg) {
 
 session::session(engine& eng, const common::config& cfg)
     : eng_(eng),
-      queue_(checked(cfg).admission_capacity),
+      queue_(checked(cfg).admission_capacity, cfg.admission_session_cap),
       former_(queue_, cfg) {
   pump_ = std::thread([this] { pump_main(); });
 }
 
 session::~session() { close(); }
 
-session::ticket session::submit(std::unique_ptr<txn::txn_desc> t) {
-  return submit_at(std::move(t), 0);
+session::ticket session::submit(std::unique_ptr<txn::txn_desc> t,
+                                std::uint32_t client) {
+  return submit_at(std::move(t), 0, client);
 }
 
 // Reject malformed plans on the submitting thread: batch::validate()
@@ -62,21 +63,22 @@ bool session::prepare(const std::unique_ptr<txn::txn_desc>& t) {
 }
 
 session::ticket session::submit_at(std::unique_ptr<txn::txn_desc> t,
-                                   std::uint64_t submit_nanos) {
+                                   std::uint64_t submit_nanos,
+                                   std::uint32_t client) {
   auto st = std::make_shared<core::ticket_state>();
   if (!prepare(t)) {
     st->complete(txn::txn_status::aborted, 0, 0);
     return ticket{std::move(st)};
   }
-  core::admitted_txn a{std::move(t), st, submit_nanos};
+  core::admitted_txn a{std::move(t), st, submit_nanos, client};
   if (!queue_.submit(std::move(a))) return ticket{};  // closed
   return ticket{std::move(st)};
 }
 
 bool session::post(std::unique_ptr<txn::txn_desc> t,
-                   std::uint64_t submit_nanos) {
+                   std::uint64_t submit_nanos, std::uint32_t client) {
   if (!prepare(t)) return false;
-  core::admitted_txn a{std::move(t), nullptr, submit_nanos};
+  core::admitted_txn a{std::move(t), nullptr, submit_nanos, client};
   return queue_.submit(std::move(a));
 }
 
@@ -98,6 +100,11 @@ void session::pump_main() {
 
     const std::uint64_t exec_start = common::now_nanos();
     eng_.run_batch(f.batch, metrics_);
+    // Durable ack: tickets must not resolve before the batch's commit
+    // record is on stable storage. The group-commit wait lands in e2e
+    // latency (it is real client-visible time), not in the engine's
+    // execution histogram. No-op for in-memory engines.
+    eng_.sync_durable();
     const std::uint64_t exec_done = common::now_nanos();
     last_commit_nanos_ = exec_done;
 

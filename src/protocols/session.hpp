@@ -10,6 +10,18 @@
 // — the quantity a loaded system's clients actually experience, which the
 // closed-loop harness cannot see.
 //
+// Durable ack: the pump calls engine::sync_durable() after every batch,
+// *before* resolving tickets. Against a durable engine (config::durable)
+// a resolved ticket therefore means the batch's commit record is fsynced
+// — the group-commit wait shows up in e2e latency, not as a weaker
+// acknowledgement. Against in-memory engines sync_durable is a no-op and
+// nothing changes.
+//
+// Fairness: submissions may carry a client id (default 0); when
+// config::admission_session_cap is set, each client id is capped to that
+// many queued transactions, so one greedy client cannot occupy the whole
+// admission queue and starve the rest.
+//
 //   proto::session s(*eng, cfg);
 //   auto t = s.submit(std::move(txn));
 //   auto r = t.wait();   // {status, queue_nanos, e2e_nanos}
@@ -68,18 +80,19 @@ class session {
   session& operator=(const session&) = delete;
 
   /// Submit a planned transaction (thread-safe; blocks while the admission
-  /// queue is full). Returns an invalid ticket after close(). A malformed
-  /// plan (txn::validate_plan failure) or null transaction is rejected
-  /// here, on the submitting thread: its ticket resolves immediately as
-  /// aborted instead of poisoning the batch pipeline.
-  ticket submit(std::unique_ptr<txn::txn_desc> t);
+  /// queue is full or `client`'s session cap is reached). Returns an
+  /// invalid ticket after close(). A malformed plan (txn::validate_plan
+  /// failure) or null transaction is rejected here, on the submitting
+  /// thread: its ticket resolves immediately as aborted instead of
+  /// poisoning the batch pipeline.
+  ticket submit(std::unique_ptr<txn::txn_desc> t, std::uint32_t client = 0);
 
   /// Same, but the caller supplies the submit timestamp (common::now_nanos
   /// clock). The open-loop harness passes the *scheduled* arrival time so
   /// any submission slip is charged to queueing delay, as a real client
   /// would experience it.
   ticket submit_at(std::unique_ptr<txn::txn_desc> t,
-                   std::uint64_t submit_nanos);
+                   std::uint64_t submit_nanos, std::uint32_t client = 0);
 
   /// Fire-and-forget submit: no ticket, so the pump skips the per-txn
   /// result snapshot and wakeup — the cheap path for load generators that
@@ -87,7 +100,8 @@ class session {
   /// every posted transaction. Blocks while the admission queue is full,
   /// like submit(). Returns false when the transaction was rejected
   /// (malformed plan, null, or session closed).
-  bool post(std::unique_ptr<txn::txn_desc> t, std::uint64_t submit_nanos = 0);
+  bool post(std::unique_ptr<txn::txn_desc> t, std::uint64_t submit_nanos = 0,
+            std::uint32_t client = 0);
 
   /// Stop accepting submissions, drain every admitted transaction through
   /// the engine, and join the pump thread. Idempotent; concurrent close()

@@ -29,9 +29,13 @@ class database {
   const catalog& cat() const noexcept { return cat_; }
   std::size_t table_count() const noexcept { return tables_.size(); }
 
-  /// Order-independent hash over every table's live contents. Two databases
-  /// with identical logical state hash equal — the backbone of the
-  /// determinism and protocol-equivalence test suites.
+  /// Hash of the database's logical state: each table's contribution is
+  /// order-independent over its live (key, payload) pairs, but the
+  /// per-table hashes are combined order-*sensitively* (rotated by table
+  /// position), so moving a row between tables changes the hash even
+  /// though the multiset of rows is unchanged. Two databases with
+  /// identical per-table logical state hash equal — the backbone of the
+  /// determinism, protocol-equivalence, and crash-recovery test suites.
   std::uint64_t state_hash() const;
 
   /// Deep logical copy: fresh tables with the same schemas/capacities and

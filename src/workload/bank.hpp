@@ -30,6 +30,10 @@ class bank final : public workload {
   const char* name() const noexcept override { return "bank"; }
   void load(storage::database& db) override;
   std::unique_ptr<txn::txn_desc> make_txn(common::rng& r) override;
+  const txn::procedure* find_procedure(
+      const std::string& name) const override {
+    return name == proc_.name() ? &proc_ : nullptr;
+  }
 
   const bank_config& cfg() const noexcept { return cfg_; }
 

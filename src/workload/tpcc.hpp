@@ -94,6 +94,15 @@ class tpcc final : public workload {
   const char* name() const noexcept override { return "tpcc"; }
   void load(storage::database& db) override;
   std::unique_ptr<txn::txn_desc> make_txn(common::rng& r) override;
+  const txn::procedure* find_procedure(
+      const std::string& name) const override {
+    for (const txn::procedure* p :
+         {&new_order_proc_, &payment_proc_, &order_status_proc_,
+          &delivery_proc_, &stock_level_proc_}) {
+      if (p->name() == name) return p;
+    }
+    return nullptr;
+  }
 
   const tpcc_config& cfg() const noexcept { return cfg_; }
 

@@ -30,6 +30,15 @@ class workload {
   /// produces sequence-order-equivalent results for committed work.
   virtual std::unique_ptr<txn::txn_desc> make_txn(common::rng& r) = 0;
 
+  /// Resolve one of this workload's procedures by its name. The command
+  /// log (src/log/) serializes plans with procedure *names*; recovery
+  /// rebinds them here (log::resolver_for). nullptr when unknown.
+  virtual const txn::procedure* find_procedure(
+      const std::string& name) const {
+    (void)name;
+    return nullptr;
+  }
+
   /// Convenience: a batch of `n` transactions, validated.
   txn::batch make_batch(common::rng& r, std::uint32_t n,
                         std::uint32_t batch_id = 0) {

@@ -141,6 +141,34 @@ TEST(Database, CatalogResolution) {
                std::invalid_argument);
 }
 
+// database::state_hash is order-independent *within* a table but combines
+// tables order-sensitively (see database.hpp): swapping two rows between
+// tables keeps the multiset of (key, payload) pairs identical yet must
+// change the hash, or a recovery that restored rows into the wrong tables
+// would go undetected.
+TEST(Database, StateHashDistinguishesWhichTableHoldsARow) {
+  std::vector<std::byte> p1(20), p2(20);
+  write_u64(std::span<std::byte>(p1), 0, 111);
+  write_u64(std::span<std::byte>(p2), 0, 222);
+
+  database a;  // alpha holds p1, beta holds p2
+  a.create_table("alpha", two_col_schema(), 8).insert(1, p1);
+  a.create_table("beta", two_col_schema(), 8).insert(2, p2);
+
+  database b;  // the same two rows, swapped between the tables
+  b.create_table("alpha", two_col_schema(), 8).insert(2, p2);
+  b.create_table("beta", two_col_schema(), 8).insert(1, p1);
+
+  EXPECT_NE(a.state_hash(), b.state_hash());
+
+  database c;  // identical contents to `a`, different insertion order
+  auto& c_alpha = c.create_table("alpha", two_col_schema(), 8);
+  auto& c_beta = c.create_table("beta", two_col_schema(), 8);
+  c_beta.insert(2, p2);
+  c_alpha.insert(1, p1);
+  EXPECT_EQ(a.state_hash(), c.state_hash());
+}
+
 TEST(Database, CloneMatchesStateHash) {
   database db;
   auto& t = db.create_table("t", two_col_schema(), 32);
