@@ -5,11 +5,16 @@
 // queues) and the execution phase drains them. The figure carries no
 // measurements, so this bench makes the pipeline observable instead:
 // per-phase wall time, queue counts, and fragments planned, for several
-// planner/executor geometries.
+// planner/executor geometries — followed by the cross-batch pipelining
+// sweep (config::pipeline_depth): measured plan/exec overlap and the
+// throughput delta vs the lockstep baseline on a planner-bound config.
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "core/engine.hpp"
+#include "harness/runner.hpp"
 #include "workload/ycsb.hpp"
 
 int main() {
@@ -41,6 +46,7 @@ int main() {
     cfg.planner_threads = static_cast<worker_id_t>(p);
     cfg.executor_threads = static_cast<worker_id_t>(e);
     cfg.partitions = 8;
+    cfg.pipeline_depth = 1;  // Figure 1 anatomy: the lockstep phases
     core::quecc_engine eng(db, cfg);
 
     common::rng r(42);
@@ -71,5 +77,67 @@ int main() {
       "\nreading guide: queues = P*E conflict queues per batch; plan and\n"
       "exec phases overlap-free by design (Figure 1's two stages); the\n"
       "epilogue is the deterministic commit (no 2PC, no validation).\n");
+
+  // --- cross-batch pipelining sweep ---------------------------------------
+  // The two stages are independent across batches: at pipeline_depth >= 2
+  // planners work on batch i+1 while batch i executes. A planner-bound
+  // config (many ops per txn, planning cost >= execution cost) shows the
+  // win; depth 1 is the lockstep baseline above.
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf(
+      "\n== batch pipelining (pipeline_depth): plan i+1 overlaps exec i ==\n"
+      "planner-bound ycsb: ops/txn=16 read-ratio=0.9 P=2 E=2 (%u cores —\n"
+      "the speedup needs plan and exec stages on distinct cores; expect\n"
+      "~1x or below on 1-2 core boxes, overlap stays measurable)\n\n",
+      cores);
+  harness::table_printer pt({"depth", "throughput", "speedup", "plan busy",
+                             "exec busy", "overlap", "occupancy"});
+  // The sweep needs enough batches in flight to reach pipeline steady
+  // state, so it scales independently of the anatomy table above.
+  const bool quick = std::getenv("QUECC_BENCH_QUICK") != nullptr;
+  const std::uint32_t sweep_batches = quick ? 4 : 12;
+  const std::uint32_t sweep_batch_size = quick ? 2048 : 8192;
+  double base_tps = 0;
+  for (const std::uint32_t depth : {1u, 2u, 4u}) {
+    wl::ycsb_config wcfg;
+    wcfg.table_size = 1 << 16;
+    wcfg.partitions = 8;
+    wcfg.zipf_theta = 0.6;
+    wcfg.ops_per_txn = 16;
+    wcfg.read_ratio = 0.9;
+    auto w = wl::ycsb(wcfg);
+    storage::database db;
+    w.load(db);
+
+    common::config cfg;
+    cfg.planner_threads = 2;
+    cfg.executor_threads = 2;
+    cfg.partitions = 8;
+    cfg.pipeline_depth = depth;
+    core::quecc_engine eng(db, cfg);
+
+    harness::run_options opts;
+    opts.batches = sweep_batches;
+    opts.batch_size = sweep_batch_size;
+    const auto res = harness::run_workload(eng, w, db, opts);
+    const auto& m = res.metrics;
+    if (depth == 1) base_tps = m.throughput();
+
+    char pb[32], eb[32], ov[32];
+    std::snprintf(pb, sizeof pb, "%.1f ms", m.plan_busy_seconds * 1e3);
+    std::snprintf(eb, sizeof eb, "%.1f ms", m.exec_busy_seconds * 1e3);
+    std::snprintf(ov, sizeof ov, "%.1f ms", m.pipeline_overlap_seconds * 1e3);
+    pt.row({std::to_string(depth), harness::format_rate(m.throughput()),
+            harness::format_factor(base_tps > 0 ? m.throughput() / base_tps
+                                                : 1.0),
+            pb, eb, ov,
+            harness::format_pipeline(m, cfg.planner_threads,
+                                     cfg.executor_threads)});
+  }
+  pt.print();
+  std::printf(
+      "\noverlap = wall-clock time batch i+1's planning ran during batch\n"
+      "i's execution window (0 at depth 1 by construction). Identical\n"
+      "state hashes at every depth — the determinism tests assert it.\n");
   return 0;
 }

@@ -2,9 +2,9 @@
 //
 //   queccctl [--engine NAME] [--workload ycsb|tpcc|bank] [--batches N]
 //            [--batch-size N] [--planners N] [--executors N] [--workers N]
-//            [--partitions N] [--nodes N] [--theta F] [--read-ratio F]
-//            [--mp-ratio F] [--warehouses N] [--exec spec|cons]
-//            [--iso ser|rc] [--seed N] [--latency-us N]
+//            [--pipeline-depth N] [--partitions N] [--nodes N] [--theta F]
+//            [--read-ratio F] [--mp-ratio F] [--warehouses N]
+//            [--exec spec|cons] [--iso ser|rc] [--seed N] [--latency-us N]
 //            [--arrival-rate TPS] [--batch-deadline-us N]
 //            [--log-dir DIR] [--durable] [--recover]
 //            [--checkpoint-every N] [--group-commit-us N] [--list]
@@ -16,14 +16,20 @@
 // latency measured from submit time. --batch-deadline-us bounds how long
 // a partial batch may wait before it closes (default 2000).
 //
+// --pipeline-depth N sets how many batches the queue-oriented engines keep
+// in flight (1 = the paper's lockstep; default 2 overlaps batch i+1's
+// planning with batch i's execution). Results are identical at any depth.
+//
 // Durability (quecc engine only): --durable --log-dir DIR command-logs
 // every planned batch and fsyncs a commit record per batch (group commit,
 // --group-commit-us window); --checkpoint-every N snapshots the database
 // every N batches and truncates the log. After a crash (SIGKILL included),
 // `queccctl --recover --log-dir DIR` with the *same* workload flags
-// restores the checkpoint, replays committed batches, resumes the
-// remainder of the deterministic stream, and prints the same final state
-// hash an uninterrupted run would have printed.
+// restores the checkpoint, replays committed batches, then resumes the
+// remainder of the deterministic stream *durably in place*: the log is
+// reopened at the replayed position and every resumed batch keeps being
+// command-logged, so a later crash + --recover still works. The final
+// state hash equals what an uninterrupted run would have printed.
 //
 // Examples:
 //   queccctl --engine quecc --workload tpcc --warehouses 1
@@ -99,6 +105,8 @@ bool parse(options& o, int argc, char** argv) {
       o.cfg.executor_threads = static_cast<worker_id_t>(std::atoi(need(i)));
     } else if (a == "--workers") {
       o.cfg.worker_threads = static_cast<worker_id_t>(std::atoi(need(i)));
+    } else if (a == "--pipeline-depth") {
+      o.cfg.pipeline_depth = static_cast<std::uint32_t>(std::atoi(need(i)));
     } else if (a == "--partitions") {
       o.cfg.partitions = static_cast<part_id_t>(std::atoi(need(i)));
     } else if (a == "--nodes") {
@@ -208,9 +216,27 @@ int run_recovery(options& o) {
       rec.checkpoint_loaded ? "yes" : "no", rec.batches_replayed,
       rec.batches_skipped, rec.torn_tail ? "yes" : "no", rec.txns_applied);
 
-  // Resume: regenerate the deterministic stream, skip what recovery
-  // already applied, run the remainder (non-durable; continuing a durable
-  // log in place is future work — see README "Durability & recovery").
+  // The replay engine's threads are torn down before the resumed engine
+  // reopens the log (log_writer is single-writer per directory).
+  eng.reset();
+
+  // Resume durably in place: reopen the log at the replayed position
+  // (resume mode truncates the torn tail and appends into a fresh
+  // segment) and keep command-logging the remainder of the deterministic
+  // stream, so a later crash + --recover still works. Engines without a
+  // durability layer ignore the knobs and resume in memory as before.
+  common::config resume_cfg = o.cfg;
+  resume_cfg.durable = true;
+  resume_cfg.log_resume = true;
+  resume_cfg.log_resume_stream_pos = rec.txns_applied;
+  std::unique_ptr<proto::engine> resumed;
+  try {
+    resumed = proto::make_engine(o.engine, db, resume_cfg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
   const std::uint64_t total =
       static_cast<std::uint64_t>(o.batches) * o.batch_size;
   common::rng r(o.seed);
@@ -223,11 +249,12 @@ int run_recovery(options& o) {
     const auto n = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(o.batch_size, total - done));
     txn::batch b = w->make_batch(r, n, next_id++);
-    eng->run_batch(b, m);
+    resumed->run_batch(b, m);
     done += n;
   }
+  resumed->sync_durable();
   if (total > rec.txns_applied) {
-    std::printf("resumed: %" PRIu64 " remaining txns\n",
+    std::printf("resumed durably: %" PRIu64 " remaining txns\n",
                 total - rec.txns_applied);
   }
   std::printf("state hash: %016llx\n",

@@ -3,6 +3,13 @@
 # from its command log, resume the remainder of the deterministic stream,
 # and require the final state hash to equal an uninterrupted run's.
 #
+# Runs with --pipeline-depth 2 so the kill lands while two batches are in
+# flight (batch records of in-flight batches interleave with commit
+# records — exactly the log shape recovery must handle). Because --recover
+# resumes *durably in place*, a second --recover of the same log must be a
+# pure replay of the full stream landing on the same hash — that asserts
+# the resumed run really kept appending.
+#
 # Usage: scripts/recovery_smoke.sh [build-dir]   (default: build)
 set -eu
 
@@ -13,7 +20,7 @@ CTL=$BUILD/examples/queccctl
 
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
-ARGS="--workload ycsb --batches 48 --batch-size 1024 --seed 7"
+ARGS="--workload ycsb --batches 48 --batch-size 1024 --seed 7 --pipeline-depth 2"
 
 # Reference: the uninterrupted (in-memory) run of the same stream.
 REF=$($CTL $ARGS | sed -n 's/^state hash: //p')
@@ -34,6 +41,21 @@ GOT=$($CTL $ARGS --recover --log-dir "$TMP/log" | tee "$TMP/recover.out" \
 if [ "$REF" != "$GOT" ]; then
     echo "recovery smoke: hash mismatch (ref=$REF got=$GOT)"
     cat "$TMP/recover.out"
+    exit 1
+fi
+
+# The resumed run continued the log in place: recovering it again must be
+# a full replay (no resumed txns left) that lands on the same hash.
+AGAIN=$($CTL $ARGS --recover --log-dir "$TMP/log" | tee "$TMP/recover2.out" \
+        | sed -n 's/^state hash: //p')
+if [ "$REF" != "$AGAIN" ]; then
+    echo "recovery smoke: resumed-log replay mismatch (ref=$REF got=$AGAIN)"
+    cat "$TMP/recover2.out"
+    exit 1
+fi
+if grep -q '^resumed durably' "$TMP/recover2.out"; then
+    echo "recovery smoke: second recovery still had txns to resume"
+    cat "$TMP/recover2.out"
     exit 1
 fi
 echo "recovery smoke: ok (state hash $REF)"

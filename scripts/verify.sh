@@ -9,5 +9,11 @@ cmake -B build -S .
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
-# Durability: kill -9 a durable run mid-flight, recover, compare hashes.
+# Pipelined determinism: depth-1 vs depth-2 state-hash equality across
+# workloads/exec models/arrival modes (also part of ctest above; run
+# explicitly so a pipelining regression is named in the output).
+(cd build && ctest -R test_pipeline --output-on-failure)
+
+# Durability: kill -9 a durable (pipelined) run mid-flight, recover,
+# resume durably in place, compare hashes.
 ./scripts/recovery_smoke.sh build

@@ -28,9 +28,9 @@ const char* to_string(isolation i) noexcept {
 std::string config::describe() const {
   std::ostringstream os;
   os << "P=" << planner_threads << " E=" << executor_threads
-     << " batch=" << batch_size << " deadline=" << batch_deadline_micros
-     << "us parts=" << partitions << " " << to_string(execution) << "/"
-     << to_string(iso);
+     << " batch=" << batch_size << " depth=" << pipeline_depth
+     << " deadline=" << batch_deadline_micros << "us parts=" << partitions
+     << " " << to_string(execution) << "/" << to_string(iso);
   if (nodes > 1) os << " nodes=" << nodes << " lat=" << net_latency_micros << "us";
   if (durable) {
     os << " durable(log=" << log_dir << " gc=" << group_commit_micros << "us";
@@ -48,6 +48,7 @@ void config::validate() const {
     throw std::invalid_argument("executor_threads == 0");
   if (worker_threads == 0) throw std::invalid_argument("worker_threads == 0");
   if (batch_size == 0) throw std::invalid_argument("batch_size == 0");
+  if (pipeline_depth == 0) throw std::invalid_argument("pipeline_depth == 0");
   if (admission_capacity == 0)
     throw std::invalid_argument("admission_capacity == 0");
   if (partitions == 0) throw std::invalid_argument("partitions == 0");

@@ -41,6 +41,13 @@ struct config {
 
   // --- batching ----------------------------------------------------------
   std::uint32_t batch_size = 1024;  ///< txns per deterministic batch
+  /// Batch-pipeline depth of the queue-oriented engines: how many batches
+  /// may be in flight at once. 1 = the paper's lockstep (plan, execute,
+  /// commit, repeat); at >= 2 planners start on batch i+1 the moment batch
+  /// i's queues are handed to the executors, overlapping the two Figure 1
+  /// stages across batches. Execution and the commit epilogue stay
+  /// sequential by batch id, so results are bit-identical at every depth.
+  std::uint32_t pipeline_depth = 2;
 
   // --- admission (async client path) -------------------------------------
   /// A batch former closes a batch on `batch_size` *or* this timer,
@@ -75,6 +82,16 @@ struct config {
   /// per batch — test/debug aid, not a production default); recovery then
   /// verifies replay batch by batch.
   bool log_verify_hash = false;
+  /// Reopen an existing log directory after recovery and continue
+  /// appending in place (log_writer resume mode: the newest segment's torn
+  /// tail is truncated and writing continues in a fresh segment). Without
+  /// this a non-empty log directory is refused. Recovery-resume drivers
+  /// (queccctl --recover) set it together with log_resume_stream_pos.
+  bool log_resume = false;
+  /// Stream position (cumulative transactions) the recovered log already
+  /// covers; resumed commit records continue counting from here so a later
+  /// recovery reports one consistent position.
+  std::uint64_t log_resume_stream_pos = 0;
 
   // --- paradigm options --------------------------------------------------
   exec_model execution = exec_model::speculative;

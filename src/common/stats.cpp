@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <iomanip>
 #include <sstream>
 
 namespace quecc::common {
@@ -71,6 +72,9 @@ void run_metrics::merge(const run_metrics& other) {
   batches += other.batches;
   messages += other.messages;
   elapsed_seconds = std::max(elapsed_seconds, other.elapsed_seconds);
+  plan_busy_seconds += other.plan_busy_seconds;
+  exec_busy_seconds += other.exec_busy_seconds;
+  pipeline_overlap_seconds += other.pipeline_overlap_seconds;
   txn_latency.merge(other.txn_latency);
   queue_latency.merge(other.queue_latency);
   e2e_latency.merge(other.e2e_latency);
@@ -83,6 +87,12 @@ std::string run_metrics::summary(const std::string& label) const {
      << ", cc_aborts=" << cc_aborts << ", batches=" << batches;
   if (messages > 0) os << ", msgs=" << messages;
   os << ", exec{" << txn_latency.summary() << "}";
+  if (plan_busy_seconds > 0 || exec_busy_seconds > 0) {
+    os << ", stages{plan_busy=" << std::fixed << std::setprecision(3)
+       << plan_busy_seconds << "s exec_busy=" << exec_busy_seconds
+       << "s overlap=" << pipeline_overlap_seconds << "s}";
+    os.unsetf(std::ios_base::floatfield);
+  }
   if (queue_latency.count() > 0) {
     os << ", queue{" << queue_latency.summary() << "}";
   }

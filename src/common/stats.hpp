@@ -79,6 +79,16 @@ struct run_metrics {
   std::uint64_t batches = 0;
   std::uint64_t messages = 0;        ///< simulated network messages
   double elapsed_seconds = 0.0;
+  /// Pipeline stage accounting (queue-oriented engines only). Busy times
+  /// are summed across the stage's threads — at pipeline_depth >= 2 the
+  /// per-batch wall-clock phases overlap across batches and stop adding
+  /// up, so busy time is what summary() can still report truthfully.
+  double plan_busy_seconds = 0.0;  ///< cumulative planner busy time
+  double exec_busy_seconds = 0.0;  ///< cumulative executor busy time
+  /// Wall-clock overlap between batches' planning windows and earlier
+  /// batches' execution windows — the time the two Figure 1 stages ran
+  /// concurrently. 0 in lockstep (pipeline_depth == 1).
+  double pipeline_overlap_seconds = 0.0;
   /// Pure execution latency: batch execution start -> txn commit. Recorded
   /// by every engine; excludes any time spent waiting for admission.
   latency_histogram txn_latency;

@@ -1,5 +1,6 @@
 #include "core/engine.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <unordered_set>
 
@@ -18,46 +19,64 @@ void pipeline::build(const common::config& cfg, storage::database& db,
   const worker_id_t execs = cfg.executor_threads;
 
   planners.reserve(planner_n);
-  plan_outs.resize(planner_n);
   for (worker_id_t p = 0; p < planner_n; ++p) {
     planners.emplace_back(p, cfg, db);
-    // Pre-size queue containers so their addresses are stable for the
-    // engine lifetime; executors hold raw pointers into them.
-    plan_outs[p].resize(execs, rc);
   }
-
   executors.reserve(execs);
-  exec_queues.resize(execs);
   for (worker_id_t e = 0; e < execs; ++e) {
     executors.push_back(std::make_unique<executor>(e, cfg, db, committed));
-    for (worker_id_t p = 0; p < planner_n; ++p) {
-      exec_queues[e].push_back(&plan_outs[p].conflict[e]);
-    }
   }
-  if (rc) {
+
+  // One slot per pipeline stage-in-flight. Pre-size every queue container
+  // so addresses are stable for the engine lifetime; executors read
+  // through the raw pointers wired up here.
+  slots.reserve(cfg.pipeline_depth);
+  for (std::uint32_t s = 0; s < cfg.pipeline_depth; ++s) {
+    auto slot = std::make_unique<batch_slot>();
+    slot->plan_outs.resize(planner_n);
     for (worker_id_t p = 0; p < planner_n; ++p) {
-      for (worker_id_t e = 0; e < execs; ++e) {
-        read_queues.push_back(&plan_outs[p].reads[e]);
+      slot->plan_outs[p].resize(execs, rc);
+    }
+    slot->exec_queues.resize(execs);
+    for (worker_id_t e = 0; e < execs; ++e) {
+      for (worker_id_t p = 0; p < planner_n; ++p) {
+        slot->exec_queues[e].push_back(&slot->plan_outs[p].conflict[e]);
+      }
+    }
+    if (rc) {
+      for (worker_id_t p = 0; p < planner_n; ++p) {
+        for (worker_id_t e = 0; e < execs; ++e) {
+          slot->read_queues.push_back(&slot->plan_outs[p].reads[e]);
+        }
+      }
+    }
+    slots.push_back(std::move(slot));
+  }
+}
+
+void batch_slot::resolve_read_queues(storage::database& db) {
+  for (const frag_queue* q : read_queues) {
+    for (const frag_entry& e : *q) {
+      if (e.f->kind != txn::op_kind::insert) {
+        e.f->rid = db.at(e.f->table).lookup(e.f->key);
       }
     }
   }
 }
 
 quecc_engine::quecc_engine(storage::database& db, const common::config& cfg)
-    : db_(db),
-      cfg_(cfg),
-      spec_(db),
-      sync_(static_cast<std::ptrdiff_t>(cfg.planner_threads) +
-            cfg.executor_threads + 1) {
+    : db_(db), cfg_(cfg), spec_(db) {
   cfg_.validate();
   if (cfg_.iso == common::isolation::read_committed) {
     committed_ = std::make_unique<storage::dual_version_store>(db_);
   }
   if (cfg_.durable) {
     wal_ = std::make_unique<log::log_writer>(
-        cfg_.log_dir, log::writer_options{cfg_.group_commit_micros,
-                                          cfg_.log_segment_bytes});
+        cfg_.log_dir,
+        log::writer_options{cfg_.group_commit_micros, cfg_.log_segment_bytes,
+                            cfg_.log_resume});
     ckpt_ = std::make_unique<log::checkpointer>(cfg_.log_dir);
+    durable_stream_pos_ = cfg_.log_resume_stream_pos;
   }
   pipe_.build(cfg_, db_, committed_.get());
 
@@ -73,20 +92,41 @@ quecc_engine::quecc_engine(storage::database& db, const common::config& cfg)
 }
 
 quecc_engine::~quecc_engine() {
-  stop_.store(true, std::memory_order_release);
-  sync_.arrive_and_wait();  // release workers into the stop check
+  // Retire anything the caller left in flight (the submit contract says
+  // batches and metrics outlive their drain, so the pointers are valid).
+  while (drain_batch()) {
+  }
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
   for (auto& t : threads_) t.join();
 }
 
 void quecc_engine::planner_main(worker_id_t p) {
   common::name_self("quecc-plan-" + std::to_string(p));
   if (cfg_.pin_threads) common::pin_self_to(p);
-  while (true) {
-    sync_.arrive_and_wait();  // (1) batch start
-    if (stop_.load(std::memory_order_acquire)) return;
-    pipe_.planners[p].plan(*current_, pipe_.plan_outs[p]);
-    sync_.arrive_and_wait();  // (2) planning complete
-    sync_.arrive_and_wait();  // (3) execution complete (idle)
+  for (std::uint64_t n = 0;; ++n) {
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [&] { return submitted_ > n || stop_; });
+      if (stop_ && submitted_ <= n) return;
+    }
+    // Planners need no start barrier: each writes only its own plan_outs
+    // entry, and a slot is only handed out again (submitted_) after its
+    // previous batch drained. Planner p may be a batch ahead of planner q.
+    batch_slot& s = *pipe_.slots[n % cfg_.pipeline_depth];
+    const std::uint64_t t0 = common::now_nanos();
+    pipe_.planners[p].plan(*s.batch, s.plan_outs[p]);
+    s.plan_busy_nanos.fetch_add(common::now_nanos() - t0,
+                                std::memory_order_relaxed);
+    if (s.plan_pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lk(mu_);
+      s.ready_nanos = common::now_nanos();
+      ready_ = n + 1;  // planners retire batches in order (see above)
+      cv_.notify_all();
+    }
   }
 }
 
@@ -96,53 +136,163 @@ void quecc_engine::executor_main(worker_id_t e) {
     common::pin_self_to(cfg_.planner_threads + e);
   }
   executor& ex = *pipe_.executors[e];
-  while (true) {
-    sync_.arrive_and_wait();  // (1) batch start
-    if (stop_.load(std::memory_order_acquire)) return;
-    sync_.arrive_and_wait();  // (2) wait for planning
-    ex.begin_batch(batch_start_nanos_);
-    ex.run_conflict_queues(pipe_.exec_queues[e]);
-    if (!pipe_.read_queues.empty()) {
-      ex.run_read_queues(pipe_.read_queues, read_cursor_);
+  for (std::uint64_t n = 0;; ++n) {
+    batch_slot* sp;
+    {
+      std::unique_lock lk(mu_);
+      // Execution stays sequential across slots: batch n runs only after
+      // batch n-1's epilogue (drained_ == n) — the per-slot inter-batch
+      // quiescent point that read-committed publishing, speculation
+      // recovery, and checkpoints rely on.
+      cv_.wait(lk, [&] { return (ready_ > n && drained_ == n) || stop_; });
+      if (stop_ && !(ready_ > n && drained_ == n)) return;
+      sp = pipe_.slots[n % cfg_.pipeline_depth].get();
+      if (sp->exec_start_nanos == 0) {
+        sp->exec_start_nanos = common::now_nanos();
+        // First executor in, still under mu_ (batch n-1 drained, nobody
+        // else running): resolve the RC read-queue rids at the quiescent
+        // point — they are claimed by any executor, so execution-time
+        // lookups would race with this batch's own inserts/erases. At
+        // depth 1 the planners already resolved them.
+        if (cfg_.pipeline_depth > 1) sp->resolve_read_queues(db_);
+      }
     }
-    sync_.arrive_and_wait();  // (3) execution complete
+    batch_slot& s = *sp;
+    const std::uint64_t t0 = common::now_nanos();
+    ex.begin_batch(s.submit_nanos);
+    ex.run_conflict_queues(s.exec_queues[e]);
+    if (!s.read_queues.empty()) {
+      ex.run_read_queues(s.read_queues, s.read_cursor);
+    }
+    s.exec_busy_nanos.fetch_add(common::now_nanos() - t0,
+                                std::memory_order_relaxed);
+    if (s.exec_pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lk(mu_);
+      s.exec_end_nanos = common::now_nanos();
+      exec_done_ = n + 1;
+      cv_.notify_all();
+    }
   }
 }
 
-void quecc_engine::run_batch(txn::batch& b, common::run_metrics& m) {
-  common::stopwatch sw;
-  current_ = &b;
-  batch_start_nanos_ = common::now_nanos();
-  read_cursor_.store(0, std::memory_order_relaxed);
-
-  sync_.arrive_and_wait();  // (1) release planners
-  const double t0 = sw.seconds();
+void quecc_engine::submit_batch(txn::batch& b, common::run_metrics& m) {
+  // Ring full: the caller fell behind; retire the oldest batch on its
+  // behalf (same thread — equivalent to the caller invoking drain_batch).
+  while (true) {
+    {
+      std::lock_guard lk(mu_);
+      if (submitted_ - drained_ < cfg_.pipeline_depth) break;
+    }
+    drain_batch();
+  }
+  {
+    std::lock_guard lk(mu_);
+    batch_slot& s = *pipe_.slots[submitted_ % cfg_.pipeline_depth];
+    s.batch = &b;
+    s.metrics = &m;
+    s.submit_nanos = common::now_nanos();
+    s.ready_nanos = s.exec_start_nanos = s.exec_end_nanos = 0;
+    s.read_cursor.store(0, std::memory_order_relaxed);
+    s.plan_busy_nanos.store(0, std::memory_order_relaxed);
+    s.exec_busy_nanos.store(0, std::memory_order_relaxed);
+    s.plan_pending.store(cfg_.planner_threads, std::memory_order_relaxed);
+    s.exec_pending.store(cfg_.executor_threads, std::memory_order_relaxed);
+    ++submitted_;  // publishes the slot fields to the plan stage
+    cv_.notify_all();
+  }
   // Batch (command) record at plan time: the serialized plan is the whole
   // redo log — execution is a deterministic function of it. Encoding and
-  // appending overlap the planning phase; the main thread is otherwise
-  // idle between barriers (1) and (2).
+  // appending overlap the planning the workers just started (the codec
+  // reads no field planners write).
   if (wal_) log_batch_record(b);
-  sync_.arrive_and_wait();  // (2) planning done, release executors
-  const double t1 = sw.seconds();
-  sync_.arrive_and_wait();  // (3) execution done
-  const double t2 = sw.seconds();
+}
 
-  epilogue(b, m);
-  // Commit record after the commit barrier (statuses are final); the
-  // group-commit flusher picks it up, sync_durable() waits for it.
-  if (wal_) log_commit_record(b);
-  phases_.plan_seconds = t1 - t0;
-  phases_.exec_seconds = t2 - t1;
-  phases_.epilogue_seconds = sw.seconds() - t2;
-  phases_.planned_fragments = 0;
-  for (const auto& po : pipe_.plan_outs) {
-    phases_.planned_fragments += po.planned_frags;
+bool quecc_engine::drain_batch() {
+  std::uint64_t n;
+  batch_slot* sp;
+  {
+    std::unique_lock lk(mu_);
+    if (drained_ == submitted_) return false;  // nothing in flight
+    n = drained_;
+    cv_.wait(lk, [&] { return exec_done_ > n; });
+    sp = pipe_.slots[n % cfg_.pipeline_depth].get();
   }
-  phases_.queues = static_cast<std::uint64_t>(pipe_.plan_outs.size()) *
-                   (cfg_.executor_threads +
-                    (committed_ ? cfg_.executor_threads : 0));
+  batch_slot& s = *sp;
+  txn::batch& b = *s.batch;
+  common::run_metrics& m = *s.metrics;
+
+  // Commit epilogue at the quiescent point: executors for batch n+1 wait
+  // on drained_, so the executor logs read here are still batch n's.
+  // Planners may concurrently plan batches n+1.. — at depth >= 2 planning
+  // touches no shared mutable state (see planner.cpp).
+  const std::uint64_t epi0 = common::now_nanos();
+  last_rec_ =
+      batch_epilogue(db_, cfg_, b, pipe_.executors, spec_, committed_.get(), m);
+  // Commit record after the commit epilogue (statuses are final); the
+  // group-commit flusher picks it up, sync_durable() waits for it. Drain
+  // order == submission order, so commit records retain batch order in the
+  // log even while later batches' records interleave between them.
+  if (wal_) log_commit_record(b);
+  const std::uint64_t epi1 = common::now_nanos();
+
+  // Per-slot phase stats (the engine-wide snapshot is only ever written
+  // here, on the single drain thread).
+  phase_stats ph;
+  ph.plan_seconds = static_cast<double>(s.ready_nanos - s.submit_nanos) / 1e9;
+  ph.exec_seconds =
+      static_cast<double>(s.exec_end_nanos - s.exec_start_nanos) / 1e9;
+  ph.epilogue_seconds = static_cast<double>(epi1 - epi0) / 1e9;
+  ph.plan_busy_seconds =
+      static_cast<double>(s.plan_busy_nanos.load(std::memory_order_relaxed)) /
+      1e9;
+  ph.exec_busy_seconds =
+      static_cast<double>(s.exec_busy_nanos.load(std::memory_order_relaxed)) /
+      1e9;
+  for (const auto& po : s.plan_outs) ph.planned_fragments += po.planned_frags;
+  ph.queues = static_cast<std::uint64_t>(cfg_.planner_threads) *
+              (cfg_.executor_threads +
+               (committed_ ? cfg_.executor_threads : 0));
+  // Overlap: intersect this batch's planning window with the execution
+  // windows of the batches it could have overlapped (the previous
+  // pipeline_depth - 1 drained batches).
+  for (const auto& [x0, x1] : recent_exec_windows_) {
+    const std::uint64_t lo = std::max(s.submit_nanos, x0);
+    const std::uint64_t hi = std::min(s.ready_nanos, x1);
+    if (hi > lo) ph.overlap_seconds += static_cast<double>(hi - lo) / 1e9;
+  }
+  recent_exec_windows_.emplace_back(s.exec_start_nanos, s.exec_end_nanos);
+  while (recent_exec_windows_.size() >= cfg_.pipeline_depth) {
+    recent_exec_windows_.pop_front();
+  }
+  phases_ = ph;
+
   m.batches += 1;
-  m.elapsed_seconds += sw.seconds();
+  m.plan_busy_seconds += ph.plan_busy_seconds;
+  m.exec_busy_seconds += ph.exec_busy_seconds;
+  m.pipeline_overlap_seconds += ph.overlap_seconds;
+  // Elapsed time without double counting across overlapping batches:
+  // charge each drain the wall time since the previous drain, clipped to
+  // this batch's own submission (so idle gaps between lockstep run_batch
+  // calls are not charged — depth 1 matches the old stopwatch exactly).
+  const std::uint64_t drain_nanos = common::now_nanos();
+  const std::uint64_t from = std::max(s.submit_nanos, last_drain_nanos_);
+  m.elapsed_seconds += static_cast<double>(drain_nanos - from) / 1e9;
+  last_drain_nanos_ = drain_nanos;
+
+  {
+    std::lock_guard lk(mu_);
+    s.batch = nullptr;
+    s.metrics = nullptr;
+    drained_ = n + 1;  // frees the slot, releases executors into batch n+1
+    cv_.notify_all();
+  }
+  return true;
+}
+
+void quecc_engine::run_batch(txn::batch& b, common::run_metrics& m) {
+  submit_batch(b, m);
+  while (drain_batch()) {
+  }
 }
 
 recovery_stats batch_epilogue(
@@ -194,11 +344,6 @@ recovery_stats batch_epilogue(
   return rec;
 }
 
-void quecc_engine::epilogue(txn::batch& b, common::run_metrics& m) {
-  last_rec_ =
-      batch_epilogue(db_, cfg_, b, pipe_.executors, spec_, committed_.get(), m);
-}
-
 void quecc_engine::log_batch_record(const txn::batch& b) {
   std::vector<std::byte> payload;
   log::encode_batch(b, payload);
@@ -225,15 +370,32 @@ void quecc_engine::log_commit_record(const txn::batch& b) {
   last_commit_lsn_ = wal_->append(log::record_type::commit, payload);
   wal_->request_flush();
 
-  // Batch-boundary checkpoint: we sit at the inter-batch quiescent point,
-  // so the snapshot is transaction-consistent by construction. The new
-  // checkpoint covers every logged batch; rotate and drop the old
-  // segments (checkpoint file + manifest land before any deletion).
+  // Batch-boundary checkpoint: we sit at the inter-batch quiescent point
+  // (executors for the next batch are parked on drained_; planners touch
+  // no database state at depth >= 2), so the snapshot is
+  // transaction-consistent by construction. The new checkpoint covers
+  // every logged batch; rotate and drop the old segments (checkpoint file
+  // + manifest land before any deletion).
   if (cfg_.checkpoint_interval_batches > 0 &&
       ++batches_since_ckpt_ >= cfg_.checkpoint_interval_batches) {
     batches_since_ckpt_ = 0;
     ckpt_->take(db_, b.id(), durable_stream_pos_, wal_->segment_index() + 1);
     wal_->rotate_and_truncate();
+    // Batches still in the pipeline appended their batch records at
+    // submit time — into the segments just truncated. Re-append them so
+    // recovery can replay past this checkpoint (their commit records land
+    // later, in drain order). Safe without the stage mutex: only this
+    // thread submits/drains, and at depth >= 2 planners never write into
+    // batch contents.
+    std::uint64_t first_inflight, end_inflight;
+    {
+      std::lock_guard lk(mu_);
+      first_inflight = drained_ + 1;  // drained_ == the batch draining now
+      end_inflight = submitted_;
+    }
+    for (std::uint64_t k = first_inflight; k < end_inflight; ++k) {
+      log_batch_record(*pipe_.slots[k % cfg_.pipeline_depth]->batch);
+    }
   }
 }
 

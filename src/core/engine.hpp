@@ -1,8 +1,8 @@
 // The queue-oriented transaction processing engine (paper Figure 1).
 //
 // Lifecycle: construction spawns P planner threads and E executor threads
-// that live for the engine's lifetime (CP.41). Each run_batch() call walks
-// one batch through the two deterministic phases:
+// that live for the engine's lifetime (CP.41). Batches flow through the
+// two deterministic phases:
 //
 //     client batch --> [planning phase: P planners build P*E
 //                       priority-tagged fragment queues]
@@ -11,14 +11,27 @@
 //                  --> [commit epilogue: speculative-abort recovery,
 //                       status marking, read-committed publish]
 //
-// Phases are separated by barriers, which provide the only inter-thread
+// The two phases are independent *across* batches, so the engine runs them
+// as a two-stage pipeline over a ring of config::pipeline_depth batch
+// slots: planners start on batch i+1 the moment batch i's queues are
+// handed to the executors (submit_batch fills a free slot, the plan-stage
+// group fills its queues, the exec-stage group drains them). Execution and
+// the commit epilogue stay strictly sequential by batch id — drain_batch
+// retires slots in submission order at the inter-batch quiescent point —
+// which is what keeps speculation recovery, read-committed publishing,
+// checkpoints, and the determinism contract identical at every depth.
+// pipeline_depth == 1 degenerates to the paper's lockstep.
+//
+// Within one slot, stage hand-offs provide the only inter-thread
 // happens-before edges the queues need — there is no concurrency control
 // during execution, only the lock-free dependency slots in txn_context.
 #pragma once
 
 #include <atomic>
-#include <barrier>
+#include <condition_variable>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
@@ -46,17 +59,71 @@ recovery_stats batch_epilogue(
     std::span<const std::unique_ptr<executor>> executors, spec_manager& spec,
     storage::dual_version_store* committed, common::run_metrics& m);
 
-/// Planner/executor fabric shared by the centralized engine and the
-/// distributed engine: P planners with their plan outputs, E executors,
-/// and the per-executor conflict-queue views (plus the flattened RC read
-/// queues). build() pre-sizes every queue container so addresses stay
-/// stable for the engine lifetime — executors hold raw pointers into them.
-struct pipeline {
-  std::vector<planner> planners;
+/// Per-phase accounting of one batch (Figure 1 reproduction + pipeline
+/// observability). Wall times are per-stage windows; busy times are summed
+/// across the stage's threads, which is what stays meaningful when windows
+/// of different batches overlap at pipeline_depth >= 2.
+struct phase_stats {
+  double plan_seconds = 0;      ///< wall: submit -> all planners done
+  double exec_seconds = 0;      ///< wall: first executor in -> last out
+  double epilogue_seconds = 0;  ///< wall: commit epilogue (+ log/ckpt)
+  double plan_busy_seconds = 0;  ///< sum of per-planner plan() time
+  double exec_busy_seconds = 0;  ///< sum of per-executor drain time
+  /// Wall-clock intersection of this batch's planning window with earlier
+  /// batches' execution windows (> 0 only when the pipeline overlapped).
+  double overlap_seconds = 0;
+  std::uint64_t planned_fragments = 0;
+  std::uint64_t queues = 0;  ///< P*E conflict queues (+ read queues)
+};
+
+/// One batch in flight: the double-buffered planner->executor queue state
+/// plus hand-off bookkeeping. The queue containers are pre-sized once so
+/// their addresses stay stable for the engine lifetime — executors hold
+/// raw pointers into them.
+///
+/// Synchronization: the batch/metrics/window fields are written under the
+/// owning engine's stage mutex (or before the slot is published through
+/// it); the atomics carry the intra-stage counting that must not serialize
+/// workers.
+struct batch_slot {
   std::vector<plan_output> plan_outs;                // one per planner
-  std::vector<std::unique_ptr<executor>> executors;  // stable addresses
   std::vector<std::vector<const frag_queue*>> exec_queues;  // [e] -> P ptrs
   std::vector<const frag_queue*> read_queues;        // flattened P*E (RC)
+  std::atomic<std::size_t> read_cursor{0};
+
+  txn::batch* batch = nullptr;
+  common::run_metrics* metrics = nullptr;
+  std::uint64_t submit_nanos = 0;      ///< plan window start
+  std::uint64_t ready_nanos = 0;       ///< plan window end
+  std::uint64_t exec_start_nanos = 0;  ///< exec window start
+  std::uint64_t exec_end_nanos = 0;    ///< exec window end
+  std::atomic<std::uint64_t> plan_busy_nanos{0};
+  std::atomic<std::uint64_t> exec_busy_nanos{0};
+  std::atomic<std::uint32_t> plan_pending{0};  ///< planners yet to finish
+  std::atomic<std::uint32_t> exec_pending{0};  ///< executors yet to finish
+
+  /// Resolve the rids of this slot's read-committed read queues against
+  /// `db`'s primary indexes. Conflict-queue fragments can defer resolution
+  /// to execution time because same-key routing affinity makes any
+  /// concurrent same-key index mutation impossible; read queues are
+  /// claimed dynamically by *any* executor, so their lookups must happen
+  /// at a quiescent point instead — the engine calls this under its stage
+  /// mutex after batch n-1 drained and before any executor of batch n
+  /// starts, which is exactly the image depth-1's planning-time
+  /// resolution observed.
+  void resolve_read_queues(storage::database& db);
+};
+
+/// Planner/executor fabric shared by the centralized engine and the
+/// distributed engine: P planners, E executors, and a ring of
+/// cfg.pipeline_depth batch slots, each carrying its own planner outputs
+/// and per-executor conflict-queue views (plus the flattened RC read
+/// queues). build() pre-sizes every queue container so addresses stay
+/// stable for the engine lifetime.
+struct pipeline {
+  std::vector<planner> planners;
+  std::vector<std::unique_ptr<executor>> executors;  // stable addresses
+  std::vector<std::unique_ptr<batch_slot>> slots;    // size pipeline_depth
 
   /// `cfg` and `db` must outlive the pipeline (planners and executors keep
   /// references); `committed` may be null (serializable isolation).
@@ -77,30 +144,33 @@ class quecc_engine final : public proto::engine {
   const char* name() const noexcept override { return "quecc"; }
   void run_batch(txn::batch& b, common::run_metrics& m) override;
 
+  /// Pipelined submission (see iface.hpp): hands `b` to the planning
+  /// stage. If every slot is occupied, retires the oldest batch first
+  /// (same thread, equivalent to the caller invoking drain_batch).
+  void submit_batch(txn::batch& b, common::run_metrics& m) override;
+  bool drain_batch() override;
+  std::uint32_t pipeline_depth() const noexcept override {
+    return cfg_.pipeline_depth;
+  }
+
   /// Durable barrier: block until the commit record of the most recent
-  /// batch is fsynced (no-op when cfg.durable is off). See iface.hpp.
+  /// *drained* batch is fsynced (no-op when cfg.durable is off). Call from
+  /// the submit/drain thread. See iface.hpp.
   void sync_durable() override;
 
   /// The command log, when cfg.durable enabled one (tests/introspection).
   log::log_writer* wal() const noexcept { return wal_.get(); }
 
-  /// Stats of the most recent batch's speculative recovery (tests).
+  /// Stats of the most recent drained batch's speculative recovery (tests).
   const recovery_stats& last_recovery() const noexcept { return last_rec_; }
 
-  /// Per-phase timing of the most recent batch (Figure 1 reproduction).
-  struct phase_stats {
-    double plan_seconds = 0;
-    double exec_seconds = 0;
-    double epilogue_seconds = 0;
-    std::uint64_t planned_fragments = 0;
-    std::uint64_t queues = 0;  ///< P*E conflict queues (+ read queues)
-  };
+  /// Per-phase timing of the most recent drained batch (Figure 1
+  /// reproduction + pipeline observability). Stable between drains.
   const phase_stats& last_phases() const noexcept { return phases_; }
 
  private:
   void planner_main(worker_id_t p);
   void executor_main(worker_id_t e);
-  void epilogue(txn::batch& b, common::run_metrics& m);
   void log_batch_record(const txn::batch& b);
   void log_commit_record(const txn::batch& b);
 
@@ -110,12 +180,24 @@ class quecc_engine final : public proto::engine {
   spec_manager spec_;
 
   pipeline pipe_;
-  std::atomic<std::size_t> read_cursor_{0};
 
-  txn::batch* current_ = nullptr;
-  std::uint64_t batch_start_nanos_ = 0;
-  std::atomic<bool> stop_{false};
-  std::barrier<> sync_;
+  // --- stage synchronization ---------------------------------------------
+  // Monotonic batch counters: a batch's slot is counter % pipeline_depth.
+  // Planners advance on submitted_, executors on ready_ (gated by drained_
+  // so execution stays sequential across slots), the drain path on
+  // exec_done_. All guarded by mu_; cv_ carries every hand-off.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t submitted_ = 0;  ///< batches handed to the plan stage
+  std::uint64_t ready_ = 0;      ///< batches fully planned
+  std::uint64_t exec_done_ = 0;  ///< batches fully executed
+  std::uint64_t drained_ = 0;    ///< batches retired (epilogue complete)
+  bool stop_ = false;
+
+  // Drain-thread-only state (single-caller API, like run_batch).
+  std::uint64_t last_drain_nanos_ = 0;
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> recent_exec_windows_;
+
   std::vector<std::thread> threads_;
   recovery_stats last_rec_;
   phase_stats phases_;

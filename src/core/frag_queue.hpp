@@ -19,10 +19,13 @@
 
 namespace quecc::core {
 
-/// One planned unit of work: a fragment plus its owning transaction.
+/// One planned unit of work: a fragment plus its owning transaction. The
+/// fragment pointer is non-const because under pipelining the engine
+/// resolves read-queue rids at the pre-execution quiescent point (see
+/// batch_slot::resolve_read_queues); executors treat fragments as const.
 struct frag_entry {
   txn::txn_desc* t = nullptr;
-  const txn::fragment* f = nullptr;
+  txn::fragment* f = nullptr;
 };
 
 /// Deterministic queue priority: (planner id, position). Executors drain

@@ -74,6 +74,16 @@ void planner::plan(txn::batch& b, plan_output& out) {
   const std::size_t begin = std::min<std::size_t>(id_ * chunk, b.size());
   const std::size_t end = std::min(begin + chunk, b.size());
   const bool rc = cfg_.iso == common::isolation::read_committed;
+  // Planning-time index resolution is a lockstep-only optimization: at
+  // pipeline_depth 1 planning sits at the inter-batch quiescent point, so
+  // lookups are race-free and match what execution-time resolution would
+  // produce. At depth >= 2 planning overlaps the previous batch's
+  // execution — which mutates the primary index through inserts/erases —
+  // so resolution defers to the executors' resolve() fallback. Execution
+  // is serialized across batches, so the deferred lookups return exactly
+  // the rids a lockstep run would have planned, and the planning stage
+  // touches no shared mutable state at all.
+  const bool resolve_index = cfg_.pipeline_depth <= 1;
   for (std::size_t i = begin; i < end; ++i) {
     txn::txn_desc& t = b.at(i);
     const std::uint64_t writer_needed = rc ? writer_needed_slots(t) : 0;
@@ -82,7 +92,7 @@ void planner::plan(txn::batch& b, plan_output& out) {
       // whose record is created inside this batch stay unresolved and are
       // re-looked-up by the executor after the creating insert (same home
       // partition => same queue => FIFO guarantees visibility).
-      if (f.kind != txn::op_kind::insert) {
+      if (resolve_index && f.kind != txn::op_kind::insert) {
         f.rid = db_.at(f.table).lookup(f.key);
       }
       const auto e = route(f);

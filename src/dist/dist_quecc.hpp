@@ -19,11 +19,20 @@
 // independent of how many transactions are distributed — the structural
 // contrast with per-transaction commit protocols that dist_calvin (and the
 // test DistBehaviour.QueccCommitCostIsPerBatchNotPerTxn) measures.
+//
+// Like the centralized engine, batches pipeline over a ring of
+// config::pipeline_depth slots: planners move on to batch i+1 (and the
+// last planner ships its bundles) while batch i still executes, so the
+// per-node epilogue no longer serializes planning. Execution, the
+// done/commit rounds, and the global epilogue stay sequential by batch id.
+// All network rounds run under one mutex so a bundle shipment for batch
+// i+1 never steals the done/commit messages of batch i.
 #pragma once
 
 #include <atomic>
-#include <barrier>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -51,6 +60,11 @@ class dist_quecc_engine final : public proto::engine {
 
   const char* name() const noexcept override { return "dist-quecc"; }
   void run_batch(txn::batch& b, common::run_metrics& m) override;
+  void submit_batch(txn::batch& b, common::run_metrics& m) override;
+  bool drain_batch() override;
+  std::uint32_t pipeline_depth() const noexcept override {
+    return cfg_.pipeline_depth;
+  }
 
   const placement& cluster() const noexcept { return pl_; }
 
@@ -60,11 +74,13 @@ class dist_quecc_engine final : public proto::engine {
 
   /// Ship every planner's remote queue bundles and block until each node
   /// received all bundles addressed to it (one one-way latency, since the
-  /// sends overlap).
+  /// sends overlap). Runs on the last planner to finish a slot, under
+  /// net_mu_.
   void ship_plan_bundles(std::uint32_t batch_id);
 
   /// Participants report batch_done to the coordinator; after the global
-  /// deterministic epilogue the coordinator broadcasts batch_commit.
+  /// deterministic epilogue the coordinator broadcasts batch_commit. Both
+  /// run on the drain thread, under net_mu_.
   void done_round(std::uint32_t batch_id);
   void commit_round(std::uint32_t batch_id);
 
@@ -79,12 +95,27 @@ class dist_quecc_engine final : public proto::engine {
   core::spec_manager spec_;
 
   core::pipeline pipe_;  ///< shared planner/executor fabric (global view)
-  std::atomic<std::size_t> read_cursor_{0};
 
-  txn::batch* current_ = nullptr;
-  std::uint64_t batch_start_nanos_ = 0;
-  std::atomic<bool> stop_{false};
-  std::barrier<> sync_;
+  // Stage synchronization — same scheme as core::quecc_engine: monotonic
+  // batch counters guarded by mu_, a batch's slot is counter % depth.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t ready_ = 0;     ///< planned AND bundles delivered
+  std::uint64_t exec_done_ = 0;
+  std::uint64_t drained_ = 0;
+  bool stop_ = false;
+
+  /// Serializes every use of net_: the plan-bundle round (planner thread)
+  /// and the done/commit rounds (drain thread) each consume exactly the
+  /// messages they produced before releasing it, so rounds of overlapping
+  /// batches cannot steal each other's messages.
+  std::mutex net_mu_;
+
+  // Drain-thread-only state.
+  std::uint64_t last_drain_nanos_ = 0;
+  std::uint64_t last_messages_ = 0;  ///< net counter snapshot at last drain
+
   std::vector<std::thread> threads_;
 };
 

@@ -59,4 +59,21 @@ std::string format_factor(double factor) {
   return os.str();
 }
 
+std::string format_pipeline(const common::run_metrics& m,
+                            worker_id_t planner_threads,
+                            worker_id_t executor_threads) {
+  auto pct = [](double num, double den) {
+    return den > 0 ? static_cast<int>(100.0 * num / den + 0.5) : 0;
+  };
+  std::ostringstream os;
+  os << "plan "
+     << pct(m.plan_busy_seconds, planner_threads * m.elapsed_seconds)
+     << "% | exec "
+     << pct(m.exec_busy_seconds, executor_threads * m.elapsed_seconds)
+     << "% | overlap "
+     << pct(m.pipeline_overlap_seconds, m.exec_busy_seconds)
+     << "% of exec";
+  return os.str();
+}
+
 }  // namespace quecc::harness

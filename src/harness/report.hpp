@@ -5,6 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
 namespace quecc::harness {
 
 /// Fixed-width text table. Collect rows, then str()/print().
@@ -26,5 +29,16 @@ std::string format_rate(double per_second);
 
 /// Fixed-precision helper ("12.3x", "0.98x").
 std::string format_factor(double factor);
+
+/// Pipeline-stage occupancy one-liner, e.g.
+/// "plan 62% | exec 48% | overlap 31% of exec" — busy fractions are each
+/// stage's cumulative thread-busy time normalized by stage width *
+/// elapsed wall time, and overlap is the plan-during-exec wall time as a
+/// fraction of cumulative executor busy time. This is the truthful way to
+/// present per-stage load at pipeline_depth >= 2, where per-batch phase
+/// wall times overlap across batches and no longer sum to the run time.
+std::string format_pipeline(const common::run_metrics& m,
+                            worker_id_t planner_threads,
+                            worker_id_t executor_threads);
 
 }  // namespace quecc::harness

@@ -1,7 +1,9 @@
 #include "harness/runner.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <deque>
 #include <memory>
 #include <stdexcept>
 #include <thread>
@@ -18,16 +20,39 @@ run_result run_closed_loop(proto::engine& eng, wl::workload& w,
                            storage::database& db, const run_options& opts) {
   run_result out;
   common::rng r(opts.seed);
-  for (std::uint32_t i = 0; i < opts.batches; ++i) {
-    txn::batch b = w.make_batch(r, opts.batch_size, i);
-    eng.run_batch(b, out.metrics);
+  // Drive the engine through its pipelined API, keeping up to its
+  // pipeline depth batches in flight: batch i+1 is generated and planned
+  // while batch i executes (generation overlaps engine work that is
+  // already pending, so it hides inside the pipeline's busy windows).
+  // Depth-1 engines (submit_batch == run_batch) follow the exact
+  // sequence the old loop produced. Batches park in a deque — stable
+  // addresses, at most `depth` alive — until their drain retires them.
+  const std::uint32_t depth = std::max<std::uint32_t>(1, eng.pipeline_depth());
+  std::deque<txn::batch> inflight;
+  std::uint32_t next = 0;
+  auto drain_one = [&] {
+    eng.drain_batch();
+    inflight.pop_front();
     if (opts.durability) {
-      // Per-batch durable ack. The engine's run_batch stopwatch cannot see
-      // the group-commit wait, so charge it to elapsed time here — durable
+      // Per-batch durable ack. While more batches are in flight the
+      // engine's next drain-to-drain window already spans this wait; when
+      // the pipeline just emptied (always, at depth 1) nothing else will
+      // account for it, so charge it to elapsed time here — durable
       // closed-loop throughput must include the fsyncs it pays for.
       common::stopwatch sync_sw;
       eng.sync_durable();
-      out.metrics.elapsed_seconds += sync_sw.seconds();
+      if (inflight.empty()) {
+        out.metrics.elapsed_seconds += sync_sw.seconds();
+      }
+    }
+  };
+  while (next < opts.batches || !inflight.empty()) {
+    if (next < opts.batches && inflight.size() < depth) {
+      inflight.push_back(w.make_batch(r, opts.batch_size, next));
+      ++next;
+      eng.submit_batch(inflight.back(), out.metrics);
+    } else {
+      drain_one();
     }
   }
   out.final_state_hash = db.state_hash();

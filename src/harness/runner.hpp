@@ -3,9 +3,11 @@
 // Section 4).
 //
 // Two arrival modes:
-//   * closed_loop — pre-form `batches` batches of `batch_size` and feed
-//     them to run_batch back to back (the paper's experiment shape; used
-//     by the property tests, which need exact batch boundaries).
+//   * closed_loop — form `batches` batches of `batch_size` and feed them
+//     through the engine's pipelined submit/drain API back to back (the
+//     paper's experiment shape; used by the property tests, which need
+//     exact batch boundaries). A pipelined engine keeps pipeline_depth
+//     batches in flight; depth-1 engines run in the old lockstep.
 //   * open_loop   — a Poisson arrival process at `offered_load_tps`
 //     submits transactions through a proto::session; batches form by
 //     size-or-deadline and latency is measured from *submit time*, so

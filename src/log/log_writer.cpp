@@ -72,12 +72,21 @@ std::vector<std::uint32_t> list_segments(const std::string& dir,
 log_writer::log_writer(std::string dir, writer_options opts)
     : dir_(std::move(dir)), opts_(opts) {
   fs::create_directories(dir_);
-  if (!list_segments(dir_, 0).empty()) {
-    throw std::runtime_error(
-        "log_writer: '" + dir_ +
-        "' already holds log segments — recover or clear it first");
+  const auto existing = list_segments(dir_, 0);
+  std::uint32_t first = 0;
+  if (!existing.empty()) {
+    if (!opts_.resume) {
+      throw std::runtime_error(
+          "log_writer: '" + dir_ +
+          "' already holds log segments — recover or clear it first");
+    }
+    // Resume after recovery: keep every existing segment (their committed
+    // batches are the recovered history), drop the newest one's torn tail
+    // so the segment chain scans cleanly, and continue in a new segment.
+    truncate_torn_tail(dir_ + "/" + segment_name(existing.back()));
+    first = existing.back() + 1;
   }
-  open_segment(0);
+  open_segment(first);
   flusher_ = std::thread([this] { flusher_main(); });
 }
 
@@ -211,6 +220,23 @@ void log_writer::flusher_main() {
     }
     if (stop_ && durable_ >= appended_) return;
   }
+}
+
+bool truncate_torn_tail(const std::string& path) {
+  std::vector<scanned_record> records;
+  if (scan_segment(path, records)) return false;  // clean end, keep as is
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec || size < 8) {
+    // Even the 8-byte header is torn: the segment never held a durable
+    // record, so the file itself is the tail.
+    fs::remove(path);
+    return true;
+  }
+  std::uintmax_t keep = 8;
+  for (const auto& r : records) keep += kFrameHeader + r.payload.size();
+  fs::resize_file(path, keep);
+  return true;
 }
 
 bool scan_segment(const std::string& path, std::vector<scanned_record>& out) {

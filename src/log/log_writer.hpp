@@ -43,6 +43,12 @@ enum class record_type : std::uint8_t {
 struct writer_options {
   std::uint32_t group_commit_micros = 200;  ///< fsync coalescing window
   std::uint64_t segment_bytes = 64ull << 20;  ///< size-based rotation
+  /// Reopen a directory that already holds segments (post-recovery
+  /// resume): the newest segment's torn tail — unacknowledged by
+  /// construction — is truncated away so later scans see a clean segment
+  /// chain, and appending continues in a fresh segment numbered after the
+  /// newest existing one. Without this flag an existing log is refused.
+  bool resume = false;
 };
 
 class log_writer {
@@ -52,9 +58,9 @@ class log_writer {
   using lsn_t = std::uint64_t;
 
   /// Creates `dir` when missing and opens the first segment. Throws
-  /// std::runtime_error when the directory already holds segments: an old
-  /// log must be recovered (log/recovery.hpp) or cleared first, never
-  /// silently overwritten.
+  /// std::runtime_error when the directory already holds segments and
+  /// opts.resume is off: an old log must be recovered (log/recovery.hpp),
+  /// resumed, or cleared — never silently overwritten.
   log_writer(std::string dir, writer_options opts);
 
   /// Final flush, then joins the flusher thread.
@@ -123,6 +129,13 @@ struct scanned_record {
 /// std::runtime_error when the file cannot be opened or the header is not
 /// a quecc log segment.
 bool scan_segment(const std::string& path, std::vector<scanned_record>& out);
+
+/// Drop a segment's torn tail in place: truncate the file to its intact
+/// frame prefix, or remove it entirely when even the header is torn.
+/// Returns true when the file was modified. The resume path runs this on
+/// the newest segment so a later scan never stops early at a pre-crash
+/// tear and silently ignores segments appended after it.
+bool truncate_torn_tail(const std::string& path);
 
 /// Segment file name for index `n` ("segment-<n>.qlog").
 std::string segment_name(std::uint32_t n);

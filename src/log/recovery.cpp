@@ -39,7 +39,7 @@ recovery_result recover(const std::string& dir, storage::database& db,
   for (auto& rec : records) {
     if (rec.type == record_type::commit) {
       const commit_info c = decode_commit(rec.payload);
-      commits.emplace(c.batch_id, c);
+      commits[c.batch_id] = c;
     } else {
       // Peek the batch id (bytes 4..8 of the payload, after the version)
       // without a full decode: uncommitted plans are skipped unparsed.
@@ -48,7 +48,10 @@ recovery_result recover(const std::string& dir, storage::database& db,
       for (int i = 0; i < 4; ++i) {
         id |= static_cast<std::uint32_t>(rec.payload[4 + i]) << (8 * i);
       }
-      plans.emplace(id, std::move(rec.payload));
+      // Last record wins: a resumed log (log_writer resume mode) re-plans
+      // the batch id that crashed before its commit record, so the newest
+      // append — the one whose commit record exists — is authoritative.
+      plans[id] = std::move(rec.payload);
     }
   }
 

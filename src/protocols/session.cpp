@@ -1,5 +1,7 @@
 #include "protocols/session.hpp"
 
+#include <algorithm>
+#include <deque>
 #include <stdexcept>
 #include <utility>
 
@@ -94,12 +96,19 @@ void session::close() {
 
 void session::pump_main() {
   common::name_self("quecc-pump");
-  for (;;) {
-    auto f = former_.next();
-    if (!f.valid) return;  // queue closed and drained
+  // Pipelined pump: keep up to the engine's pipeline depth batches in
+  // flight so the engine's planners work on batch i+1 while batch i
+  // executes. Batches live in `inflight` (a deque never relocates held
+  // elements) until their drain; tickets resolve at drain + durable ack.
+  const std::uint32_t depth = std::max<std::uint32_t>(1, eng_.pipeline_depth());
+  struct inflight_batch {
+    core::batch_former::formed f;
+    std::uint64_t engine_nanos = 0;  ///< handed to the engine (exec start)
+  };
+  std::deque<inflight_batch> inflight;
 
-    const std::uint64_t exec_start = common::now_nanos();
-    eng_.run_batch(f.batch, metrics_);
+  auto drain_oldest = [&] {
+    eng_.drain_batch();
     // Durable ack: tickets must not resolve before the batch's commit
     // record is on stable storage. The group-commit wait lands in e2e
     // latency (it is real client-visible time), not in the engine's
@@ -107,26 +116,49 @@ void session::pump_main() {
     eng_.sync_durable();
     const std::uint64_t exec_done = common::now_nanos();
     last_commit_nanos_ = exec_done;
+    inflight_batch& ib = inflight.front();
+    const std::uint64_t exec_start = ib.engine_nanos;
 
-    for (std::size_t i = 0; i < f.batch.size(); ++i) {
-      const std::uint64_t submitted = f.submit_nanos[i];
+    for (std::size_t i = 0; i < ib.f.batch.size(); ++i) {
+      const std::uint64_t submitted = ib.f.submit_nanos[i];
       const std::uint64_t queue_ns =
           exec_start > submitted ? exec_start - submitted : 0;
       const std::uint64_t e2e_ns =
           exec_done > submitted ? exec_done - submitted : 0;
       metrics_.queue_latency.record_nanos(queue_ns);
       metrics_.e2e_latency.record_nanos(e2e_ns);
-      if (f.tickets[i]) {
-        const txn::txn_desc& t = f.batch.at(i);
-        auto& slots = f.tickets[i]->slots;
+      if (ib.f.tickets[i]) {
+        const txn::txn_desc& t = ib.f.batch.at(i);
+        auto& slots = ib.f.tickets[i]->slots;
         const auto n = static_cast<std::uint16_t>(t.slot_count());
         slots.resize(n);
         for (std::uint16_t k = 0; k < n; ++k) slots[k] = t.slot_value(k);
-        f.tickets[i]->complete(t.status.load(std::memory_order_acquire),
-                               queue_ns, e2e_ns);
+        ib.f.tickets[i]->complete(t.status.load(std::memory_order_acquire),
+                                  queue_ns, e2e_ns);
       }
     }
+    inflight.pop_front();
+  };
+
+  for (;;) {
+    while (inflight.size() >= depth) drain_oldest();
+    // With in-flight batches but an empty admission queue, resolve what
+    // is in flight instead of parking in the former: otherwise a trickle
+    // client's commit would wait on the *next* batch's deadline. Under
+    // backlog the branch never fires and the pipeline stays full.
+    if (!inflight.empty() && queue_.depth() == 0) {
+      drain_oldest();
+      continue;
+    }
+    auto f = former_.next();
+    if (!f.valid) break;  // queue closed and drained
+    // Move into the deque *before* submit: the engine keeps a pointer to
+    // the batch until its drain.
+    inflight.push_back({std::move(f), 0});
+    inflight.back().engine_nanos = common::now_nanos();
+    eng_.submit_batch(inflight.back().f.batch, metrics_);
   }
+  while (!inflight.empty()) drain_oldest();
 }
 
 }  // namespace quecc::proto

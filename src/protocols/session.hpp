@@ -1,14 +1,19 @@
 // Client session: the asynchronous submission front door to any engine.
 //
-// A session turns `engine::run_batch` — the repository's internal batch
-// primitive — into a server-shaped API: clients call submit() from any
-// number of threads and get back a ticket; a pump thread drains the
-// admission queue through a batch former (closing batches on size or
-// deadline, see core/admission.hpp) and runs each formed batch to
-// completion. Tickets resolve with the transaction's final status plus its
-// queueing delay and end-to-end latency, both measured from *submit time*
-// — the quantity a loaded system's clients actually experience, which the
-// closed-loop harness cannot see.
+// A session turns the engine's batch primitives — submit_batch /
+// drain_batch, or run_batch for non-pipelined engines — into a
+// server-shaped API: clients call submit() from any number of threads and
+// get back a ticket; a pump thread drains the admission queue through a
+// batch former (closing batches on size or deadline, see
+// core/admission.hpp) and feeds formed batches to the engine. Against a
+// pipelined engine (engine::pipeline_depth() >= 2) the pump keeps that
+// many batches in flight whenever the admission queue holds a backlog, so
+// batch i+1 is being planned while batch i executes; with no backlog it
+// drains eagerly so a trickle client never waits on the next batch's
+// deadline. Tickets resolve at drain time with the transaction's final
+// status plus its queueing delay and end-to-end latency, both measured
+// from *submit time* — the quantity a loaded system's clients actually
+// experience, which the closed-loop harness cannot see.
 //
 // Durable ack: the pump calls engine::sync_durable() after every batch,
 // *before* resolving tickets. Against a durable engine (config::durable)

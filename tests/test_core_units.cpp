@@ -129,13 +129,16 @@ TEST(Planner, ContiguousSlicesCoverBatch) {
   }
 }
 
-TEST(Planner, PlanningResolvesRowIds) {
+TEST(Planner, PlanningResolvesRowIdsInLockstep) {
   auto w = make_workload();
   auto db = testutil::make_loaded_db(w);
   common::rng r(5);
   auto b = w.make_batch(r, 50);
 
-  const auto cfg = engine_cfg(1, 1);
+  // At pipeline_depth 1 planning sits at the inter-batch quiescent point,
+  // so the planner pre-resolves the primary index.
+  auto cfg = engine_cfg(1, 1);
+  cfg.pipeline_depth = 1;
   planner pl(0, cfg, *db);
   plan_output out;
   pl.plan(b, out);
@@ -146,6 +149,30 @@ TEST(Planner, PlanningResolvesRowIds) {
       }
     }
   }
+}
+
+TEST(Planner, PipelinedPlanningDefersIndexResolution) {
+  auto w = make_workload();
+  auto db = testutil::make_loaded_db(w);
+  common::rng r(5);
+  auto b = w.make_batch(r, 50);
+
+  // At depth >= 2 planning overlaps the previous batch's execution, which
+  // mutates the index — lookups defer to the executors' resolve()
+  // fallback and planning touches no shared state.
+  auto cfg = engine_cfg(1, 1);
+  cfg.pipeline_depth = 2;
+  planner pl(0, cfg, *db);
+  plan_output out;
+  pl.plan(b, out);
+  std::size_t frags = 0;
+  for (const auto& t : b) {
+    for (const auto& f : t->frags) {
+      EXPECT_EQ(f.rid, storage::kNoRow);
+      ++frags;
+    }
+  }
+  EXPECT_GT(frags, 0u);
 }
 
 TEST(Planner, ReadCommittedSplitsPureReads) {

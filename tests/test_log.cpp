@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 
@@ -617,6 +618,247 @@ TEST(Recovery, BankAbortsReplayDeterministically) {
   const auto res = log::recover(dir.path, db, eng, log::resolver_for(w2));
   EXPECT_EQ(res.state_hash, live_hash);
   EXPECT_EQ(w2.total_balance(db), bcfg.accounts * bcfg.initial_balance);
+}
+
+// --- pipelined durability ---------------------------------------------------
+
+/// Every commit record in `dir`, in physical append order across segments.
+std::vector<log::commit_info> scan_commits(const std::string& dir) {
+  std::vector<log::scanned_record> records;
+  for (std::uint32_t n : log::list_segments(dir, 0)) {
+    log::scan_segment(dir + "/" + log::segment_name(n), records);
+  }
+  std::vector<log::commit_info> commits;
+  for (const auto& rec : records) {
+    if (rec.type == log::record_type::commit) {
+      commits.push_back(log::decode_commit(rec.payload));
+    }
+  }
+  return commits;
+}
+
+TEST(PipelinedLog, CommitRecordsRetainBatchOrderAcrossOverlappingSlots) {
+  // At depth >= 2 batch records of later batches interleave between
+  // earlier batches' commit records, but the commit records themselves —
+  // appended at drain time — must stay in batch-id order with a monotone
+  // stream position: recovery's "committed prefix" notion depends on it.
+  temp_dir dir;
+  wl::ycsb w(small_ycsb());
+  storage::database db;
+  w.load(db);
+  common::config cfg = small_engine_cfg();
+  cfg.pipeline_depth = 3;
+  cfg.durable = true;
+  cfg.log_dir = dir.path;
+  {
+    core::quecc_engine eng(db, cfg);
+    common::rng r(kSeed);
+    common::run_metrics m;
+    std::deque<txn::batch> inflight;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      inflight.push_back(w.make_batch(r, kBatchSize, i));
+      eng.submit_batch(inflight.back(), m);
+    }
+    while (eng.drain_batch()) {
+    }
+    eng.sync_durable();
+  }
+  const auto commits = scan_commits(dir.path);
+  ASSERT_EQ(commits.size(), 8u);
+  for (std::uint32_t i = 0; i < commits.size(); ++i) {
+    EXPECT_EQ(commits[i].batch_id, i);
+    EXPECT_EQ(commits[i].stream_pos, std::uint64_t{i + 1} * kBatchSize);
+  }
+}
+
+TEST(PipelinedLog, PipelinedDurableRunRecoversToLockstepHash) {
+  // Depth-2 durable run (checkpoints mid-pipeline included) must recover
+  // to exactly the hash of an uninterrupted lockstep run.
+  temp_dir dir;
+  wl::ycsb w(small_ycsb());
+  storage::database db;
+  w.load(db);
+  common::config cfg = small_engine_cfg();
+  cfg.pipeline_depth = 2;
+  cfg.durable = true;
+  cfg.log_dir = dir.path;
+  cfg.checkpoint_interval_batches = 3;
+  cfg.log_verify_hash = true;
+  {
+    core::quecc_engine eng(db, cfg);
+    harness::run_options opts;
+    opts.batches = 8;
+    opts.batch_size = kBatchSize;
+    opts.seed = kSeed;
+    opts.durability = true;
+    const auto res = harness::run_workload(eng, w, db, opts);
+    EXPECT_EQ(res.final_state_hash, reference_hash(8, kBatchSize, kSeed));
+  }
+  const auto rec = recover_fresh(dir.path);
+  EXPECT_TRUE(rec.res.checkpoint_loaded);
+  EXPECT_EQ(rec.res.txns_applied, 8u * kBatchSize);
+  EXPECT_EQ(rec.hash, reference_hash(8, kBatchSize, kSeed));
+}
+
+// --- resumed durable logging (log_writer resume mode) -----------------------
+
+TEST(LogWriter, ResumeTruncatesTornTailAndContinuesInFreshSegment) {
+  temp_dir dir;
+  {
+    log::log_writer lw(dir.path, {});
+    std::vector<std::byte> payload(32, std::byte{7});
+    lw.append(log::record_type::batch, payload);
+    lw.wait_durable(lw.appended_lsn());
+  }
+  // Simulate a crash mid-append: garbage bytes after the intact record.
+  {
+    std::ofstream out(dir.path + "/" + log::segment_name(0),
+                      std::ios::binary | std::ios::app);
+    out.write("torn!", 5);
+  }
+  {
+    std::vector<log::scanned_record> recs;
+    EXPECT_FALSE(
+        log::scan_segment(dir.path + "/" + log::segment_name(0), recs));
+  }
+  {
+    log::writer_options opts;
+    opts.resume = true;
+    log::log_writer lw(dir.path, opts);
+    EXPECT_EQ(lw.segment_index(), 1u);  // appends continue past segment 0
+    std::vector<std::byte> payload(16, std::byte{9});
+    lw.append(log::record_type::batch, payload);
+    lw.wait_durable(lw.appended_lsn());
+  }
+  // The pre-crash segment now scans clean (tail truncated), so a scan of
+  // the whole chain sees both records.
+  std::vector<log::scanned_record> recs;
+  EXPECT_TRUE(log::scan_segment(dir.path + "/" + log::segment_name(0), recs));
+  EXPECT_TRUE(log::scan_segment(dir.path + "/" + log::segment_name(1), recs));
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].payload.size(), 32u);
+  EXPECT_EQ(recs[1].payload.size(), 16u);
+}
+
+TEST(LogWriter, ResumeRemovesSegmentWithTornHeader) {
+  temp_dir dir;
+  { log::log_writer lw(dir.path, {}); }
+  // Crash inside open_segment of segment 1: only 3 header bytes landed.
+  {
+    std::ofstream out(dir.path + "/" + log::segment_name(1),
+                      std::ios::binary);
+    out.write("QLO", 3);
+  }
+  log::writer_options opts;
+  opts.resume = true;
+  log::log_writer lw(dir.path, opts);
+  EXPECT_EQ(lw.segment_index(), 2u);
+  EXPECT_FALSE(fs::exists(dir.path + "/" + log::segment_name(1)));
+}
+
+TEST(Recovery, ResumedEngineContinuesDurableLoggingInPlace) {
+  // The full --recover story: durable run dies after 4 of 8 batches; a
+  // recovery replays them; a *resumed durable* engine (log_resume) appends
+  // batches 4..7 to the same log; a second recovery of that log — with no
+  // resume step left — lands on the uninterrupted 8-batch hash.
+  temp_dir dir;
+  wl::ycsb w(small_ycsb());
+
+  {  // original durable run: first 4 batches, then "crash" (clean stop)
+    storage::database db;
+    w.load(db);
+    common::config cfg = small_engine_cfg();
+    cfg.durable = true;
+    cfg.log_dir = dir.path;
+    core::quecc_engine eng(db, cfg);
+    common::rng r(kSeed);
+    common::run_metrics m;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      txn::batch b = w.make_batch(r, kBatchSize, i);
+      eng.run_batch(b, m);
+    }
+    eng.sync_durable();
+  }
+
+  {  // recover, then resume durably in place for the remaining 4 batches
+    storage::database db;
+    w.load(db);
+    log::recovery_result rec;
+    {
+      common::config replay_cfg = small_engine_cfg();
+      core::quecc_engine replay_eng(db, replay_cfg);
+      rec = log::recover(dir.path, db, replay_eng, log::resolver_for(w));
+    }
+    EXPECT_EQ(rec.batches_replayed, 4u);
+    EXPECT_EQ(rec.txns_applied, 4u * kBatchSize);
+
+    common::config cfg = small_engine_cfg();
+    cfg.durable = true;
+    cfg.log_dir = dir.path;
+    cfg.log_resume = true;
+    cfg.log_resume_stream_pos = rec.txns_applied;
+    core::quecc_engine eng(db, cfg);
+    common::rng r(kSeed);
+    for (std::uint64_t i = 0; i < rec.txns_applied; ++i) {
+      (void)w.make_txn(r);  // advance the deterministic generator
+    }
+    common::run_metrics m;
+    std::uint32_t id = rec.next_batch_id;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      txn::batch b = w.make_batch(r, kBatchSize, id++);
+      eng.run_batch(b, m);
+    }
+    eng.sync_durable();
+    EXPECT_EQ(db.state_hash(), reference_hash(8, kBatchSize, kSeed));
+  }
+
+  // The resumed log is a complete, recoverable history of all 8 batches.
+  const auto rec2 = recover_fresh(dir.path);
+  EXPECT_EQ(rec2.res.txns_applied, 8u * kBatchSize);
+  EXPECT_EQ(rec2.hash, reference_hash(8, kBatchSize, kSeed));
+  const auto commits = scan_commits(dir.path);
+  ASSERT_EQ(commits.size(), 8u);
+  EXPECT_EQ(commits.back().stream_pos, 8u * kBatchSize);
+}
+
+TEST(Recovery, ResumedLogReplansUnacknowledgedBatchLastRecordWins) {
+  // Crash window: batch 2's record landed but not its commit record. The
+  // resumed run re-plans the same stream slice under the same batch id;
+  // recovery must replay the *resumed* (committed) copy exactly once.
+  temp_dir dir;
+  build_log(dir.path, /*produced=*/3, /*committed=*/2);
+
+  wl::ycsb w(small_ycsb());
+  storage::database db;
+  w.load(db);
+  log::recovery_result rec;
+  {
+    core::quecc_engine replay_eng(db, small_engine_cfg());
+    rec = log::recover(dir.path, db, replay_eng, log::resolver_for(w));
+  }
+  EXPECT_EQ(rec.batches_replayed, 2u);
+  EXPECT_EQ(rec.batches_skipped, 1u);
+
+  common::config cfg = small_engine_cfg();
+  cfg.durable = true;
+  cfg.log_dir = dir.path;
+  cfg.log_resume = true;
+  cfg.log_resume_stream_pos = rec.txns_applied;
+  core::quecc_engine eng(db, cfg);
+  common::rng r(kSeed);
+  for (std::uint64_t i = 0; i < rec.txns_applied; ++i) (void)w.make_txn(r);
+  common::run_metrics m;
+  std::uint32_t id = rec.next_batch_id;  // == 2: re-plans the skipped batch
+  for (std::uint32_t i = 2; i < kBatches; ++i) {
+    txn::batch b = w.make_batch(r, kBatchSize, id++);
+    eng.run_batch(b, m);
+  }
+  eng.sync_durable();
+  EXPECT_EQ(db.state_hash(), reference_hash(kBatches, kBatchSize, kSeed));
+
+  const auto rec2 = recover_fresh(dir.path);
+  EXPECT_EQ(rec2.res.txns_applied, std::uint64_t{kBatches} * kBatchSize);
+  EXPECT_EQ(rec2.hash, reference_hash(kBatches, kBatchSize, kSeed));
 }
 
 }  // namespace
