@@ -50,6 +50,47 @@ void BM_HashIndexLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_HashIndexLookup);
 
+// --- sharded-storage lookup paths ------------------------------------------
+// Same 8-arena table, two index paths: the stripe-locked lookup the
+// cross-partition baselines use vs the lock-free partition-local lookup
+// the planner/executors use. The delta is the per-lookup cost of the
+// stripe lock the queue-oriented planning already made unnecessary.
+
+storage::database& sharded_lookup_db() {
+  static storage::database db = [] {
+    storage::database d;
+    auto& t = d.create_table(
+        "t", storage::schema({{"A", storage::col_type::u64, 8}}), 1 << 16, 8);
+    std::vector<std::byte> p(8);
+    for (quecc::key_t k = 0; k < (1 << 16); ++k) {
+      t.insert(k, p, static_cast<part_id_t>(k % 8));
+    }
+    return d;
+  }();
+  return db;
+}
+
+void BM_StripedLookup(benchmark::State& state) {
+  auto& t = sharded_lookup_db().at(0);
+  common::rng r(1);
+  for (auto _ : state) {
+    const auto k = r.next_below(1 << 16);
+    benchmark::DoNotOptimize(t.lookup(k, static_cast<part_id_t>(k % 8)));
+  }
+}
+BENCHMARK(BM_StripedLookup);
+
+void BM_PartitionLocalLookup(benchmark::State& state) {
+  auto& t = sharded_lookup_db().at(0);
+  common::rng r(1);
+  for (auto _ : state) {
+    const auto k = r.next_below(1 << 16);
+    benchmark::DoNotOptimize(
+        t.lookup_local(k, static_cast<part_id_t>(k % 8)));
+  }
+}
+BENCHMARK(BM_PartitionLocalLookup);
+
 void BM_TableRowAccess(benchmark::State& state) {
   storage::database db;
   auto& t = db.create_table(

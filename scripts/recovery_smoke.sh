@@ -20,7 +20,10 @@ CTL=$BUILD/examples/queccctl
 
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
-ARGS="--workload ycsb --batches 48 --batch-size 1024 --seed 7 --pipeline-depth 2"
+# --partitions 4 (explicit) so the run exercises sharded storage: four
+# per-partition arenas, v2 per-shard checkpoints, and shard-aware restore.
+ARGS="--workload ycsb --batches 48 --batch-size 1024 --seed 7 \
+--pipeline-depth 2 --partitions 4"
 
 # Reference: the uninterrupted (in-memory) run of the same stream.
 REF=$($CTL $ARGS | sed -n 's/^state hash: //p')

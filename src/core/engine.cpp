@@ -58,7 +58,8 @@ void batch_slot::resolve_read_queues(storage::database& db) {
   for (const frag_queue* q : read_queues) {
     for (const frag_entry& e : *q) {
       if (e.f->kind != txn::op_kind::insert) {
-        e.f->rid = db.at(e.f->table).lookup(e.f->key);
+        // Pre-execution quiescent point: partition-local, lock-free.
+        e.f->rid = db.at(e.f->table).lookup_local(e.f->key, e.f->part);
       }
     }
   }
@@ -323,11 +324,11 @@ recovery_stats batch_epilogue(
   // Read-committed: publish this batch's dirty rows into the committed
   // image so the next batch's read queues observe them.
   if (committed != nullptr) {
-    std::unordered_set<std::uint64_t> seen;
+    // Dedup per table: rids use their high bits for the shard (see
+    // table.hpp), so packing (table, rid) into one word would collide.
+    std::vector<std::unordered_set<storage::row_id_t>> seen(db.table_count());
     auto publish = [&](table_id_t table, storage::row_id_t rid) {
-      const std::uint64_t k =
-          (static_cast<std::uint64_t>(table) << 48) | rid;
-      if (seen.insert(k).second) committed->publish(db, table, rid);
+      if (seen[table].insert(rid).second) committed->publish(db, table, rid);
     };
     for (auto& ex : executors) {
       for (const auto& u : ex->logs().undo) {

@@ -100,7 +100,9 @@ void executor::finish(txn::txn_desc& t) {
 
 storage::row_id_t executor::resolve(const txn::fragment& f) const noexcept {
   if (f.rid != storage::kNoRow) return f.rid;
-  return db_.at(f.table).lookup(f.key);
+  // Partition-local path: route to the fragment's home arena, no index
+  // lock (hash_index lock-free reader contract).
+  return db_.at(f.table).lookup_local(f.key, f.part);
 }
 
 std::span<const std::byte> executor::read_row(const txn::fragment& f,
@@ -144,10 +146,13 @@ std::span<std::byte> executor::update_row(const txn::fragment& f,
 std::span<std::byte> executor::insert_row(const txn::fragment& f,
                                           txn::txn_desc& t) {
   auto& table = db_.at(f.table);
-  const auto rid = table.allocate_row();
+  const auto rid = table.allocate_row(f.part);
   auto row = table.row(rid);
   std::memset(row.data(), 0, row.size());
-  if (!table.index_row(f.key, rid)) return {};
+  if (!table.index_row(f.key, rid)) {
+    table.retire_unindexed(rid);  // duplicate key: recycle the slot
+    return {};
+  }
   logs_.undo.push_back(
       {t.seq, f.table, f.key, rid, txn::op_kind::insert, 0, 0});
   return row;
@@ -156,7 +161,7 @@ std::span<std::byte> executor::insert_row(const txn::fragment& f,
 bool executor::erase_row(const txn::fragment& f, txn::txn_desc& t) {
   const auto rid = resolve(f);
   if (rid == storage::kNoRow) return false;
-  if (!db_.at(f.table).erase(f.key)) return false;
+  if (!db_.at(f.table).erase(f.key, f.part)) return false;
   logs_.undo.push_back(
       {t.seq, f.table, f.key, rid, txn::op_kind::erase, 0, 0});
   return true;

@@ -91,9 +91,11 @@ void planner::plan(txn::batch& b, plan_output& out) {
       // Resolve the primary index here, in the planning phase. Fragments
       // whose record is created inside this batch stay unresolved and are
       // re-looked-up by the executor after the creating insert (same home
-      // partition => same queue => FIFO guarantees visibility).
+      // partition => same queue => FIFO guarantees visibility). The lookup
+      // routes to the key's home arena and takes no index lock — planning
+      // sits at the inter-batch quiescent point here (depth 1).
       if (resolve_index && f.kind != txn::op_kind::insert) {
-        f.rid = db_.at(f.table).lookup(f.key);
+        f.rid = db_.at(f.table).lookup_local(f.key, f.part);
       }
       const auto e = route(f);
       if (goes_to_read_queue(f, writer_needed)) {

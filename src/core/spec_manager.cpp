@@ -127,7 +127,7 @@ recovery_stats spec_manager::recover(txn::batch& b,
                       it->log->arena.data() + u.arena_offset, u.len);
           break;
         case txn::op_kind::insert:
-          tab.erase(u.key);
+          tab.erase(u.key, storage::rid_shard(u.rid));
           break;
         case txn::op_kind::erase:
           tab.index_row(u.key, u.rid);
@@ -185,7 +185,7 @@ recovery_stats spec_manager::recover(txn::batch& b,
                       it->log->arena.data() + u.arena_offset, u.len);
           break;
         case txn::op_kind::insert:
-          tab.erase(u.key);
+          tab.erase(u.key, storage::rid_shard(u.rid));
           break;
         case txn::op_kind::erase:
           tab.index_row(u.key, u.rid);

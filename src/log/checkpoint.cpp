@@ -26,7 +26,10 @@ using wire::put_u64;
 namespace {
 
 constexpr std::uint32_t kCkptMagic = 0x504B4351u;  // "QCKP" little-endian
-constexpr std::uint32_t kCkptVersion = 1;
+// v2: rows are recorded per table *shard* (one section per per-partition
+// arena, see storage/table.hpp) so restore rebuilds each arena's rows —
+// and therefore its allocation counts and rid assignment — exactly.
+constexpr std::uint32_t kCkptVersion = 2;
 
 /// Write `bytes` to `path` atomically: tmp file, fsync, rename, fsync dir.
 void atomic_write(const std::string& dir, const std::string& name,
@@ -86,12 +89,15 @@ checkpoint_meta checkpointer::take(const storage::database& db,
     for (char c : t.name()) out.push_back(static_cast<std::byte>(c));
     const std::size_t row_size = t.layout().row_size();
     put_u32(out, static_cast<std::uint32_t>(row_size));
-    put_u64(out, t.live_rows());
-    t.for_each_live([&](key_t key, storage::row_id_t rid) {
-      put_u64(out, key);
-      const auto row = t.row(rid);
-      out.insert(out.end(), row.begin(), row.end());
-    });
+    put_u16(out, t.shard_count());
+    for (part_id_t s = 0; s < t.shard_count(); ++s) {
+      put_u64(out, t.live_rows_in(s));
+      t.for_each_live_in(s, [&](key_t key, storage::row_id_t rid) {
+        put_u64(out, key);
+        const auto row = t.row(rid);
+        out.insert(out.end(), row.begin(), row.end());
+      });
+    }
   }
   put_u32(out, crc32(out));
 
@@ -177,32 +183,44 @@ checkpoint_meta restore_checkpoint(const std::string& path,
   for (std::uint32_t i = 0; i < tables; ++i) {
     const std::string name = r.str(r.u16());
     const std::uint32_t row_size = r.u32();
-    const std::uint64_t rows = r.u64();
     storage::table& t = db.by_name(name);
     if (t.layout().row_size() != row_size) {
       throw std::runtime_error("checkpoint: row size mismatch for table '" +
                                name + "'");
     }
-    // Drive the table to exactly the snapshot contents: overwrite or
-    // insert every snapshot row, erase live keys the snapshot lacks.
-    std::unordered_map<key_t, std::span<const std::byte>> snap;
-    snap.reserve(rows);
-    for (std::uint64_t k = 0; k < rows; ++k) {
-      const key_t key = r.u64();
-      snap.emplace(key, r.bytes(row_size));
+    const std::uint16_t shards = r.u16();
+    if (shards != t.shard_count()) {
+      throw std::runtime_error(
+          "checkpoint: shard count mismatch for table '" + name + "': " +
+          std::to_string(shards) + " recorded, " +
+          std::to_string(t.shard_count()) +
+          " loaded (partition configuration changed?)");
     }
-    std::vector<key_t> to_erase;
-    t.for_each_live([&](key_t key, storage::row_id_t) {
-      if (snap.find(key) == snap.end()) to_erase.push_back(key);
-    });
-    for (key_t key : to_erase) t.erase(key);
-    for (const auto& [key, payload] : snap) {
-      const storage::row_id_t rid = t.lookup(key);
-      if (rid != storage::kNoRow) {
-        std::memcpy(t.row(rid).data(), payload.data(), row_size);
-      } else if (t.insert(key, payload) == storage::kNoRow) {
-        throw std::runtime_error("checkpoint: insert failed for table '" +
-                                 name + "'");
+    // Drive each arena to exactly the snapshot contents: overwrite or
+    // insert every snapshot row into its recorded shard, erase live keys
+    // the snapshot lacks. Shard indexes double as the partition hint
+    // (home_shard(s) == s), so rows land in the arena they came from.
+    for (part_id_t s = 0; s < shards; ++s) {
+      const std::uint64_t rows = r.u64();
+      std::unordered_map<key_t, std::span<const std::byte>> snap;
+      snap.reserve(rows);
+      for (std::uint64_t k = 0; k < rows; ++k) {
+        const key_t key = r.u64();
+        snap.emplace(key, r.bytes(row_size));
+      }
+      std::vector<key_t> to_erase;
+      t.for_each_live_in(s, [&](key_t key, storage::row_id_t) {
+        if (snap.find(key) == snap.end()) to_erase.push_back(key);
+      });
+      for (key_t key : to_erase) t.erase(key, s);
+      for (const auto& [key, payload] : snap) {
+        const storage::row_id_t rid = t.lookup(key, s);
+        if (rid != storage::kNoRow) {
+          std::memcpy(t.row(rid).data(), payload.data(), row_size);
+        } else if (t.insert(key, payload, s) == storage::kNoRow) {
+          throw std::runtime_error("checkpoint: insert failed for table '" +
+                                   name + "'");
+        }
       }
     }
   }

@@ -62,7 +62,7 @@ class inplace_host final : public txn::frag_host {
             journal_->push_back({it->table, it->key, it->rid,
                                  txn::op_kind::erase, {}});
           }
-          tab.erase(it->key);
+          tab.erase(it->key, storage::rid_shard(it->rid));
           break;
         case txn::op_kind::erase:
           if (journal_ != nullptr) {
@@ -80,7 +80,9 @@ class inplace_host final : public txn::frag_host {
 
   std::span<const std::byte> read_row(const txn::fragment& f,
                                       txn::txn_desc&) override {
-    const auto rid = db_.at(f.table).lookup(f.key);
+    // Partition-local: home arena, no index lock (frag_host contract —
+    // conflicting ops on a key are already serialized upstream).
+    const auto rid = db_.at(f.table).lookup_local(f.key, f.part);
     if (rid == storage::kNoRow) return {};
     return db_.at(f.table).row(rid);
   }
@@ -88,7 +90,7 @@ class inplace_host final : public txn::frag_host {
   std::span<std::byte> update_row(const txn::fragment& f,
                                   txn::txn_desc&) override {
     auto& tab = db_.at(f.table);
-    const auto rid = tab.lookup(f.key);
+    const auto rid = tab.lookup_local(f.key, f.part);
     if (rid == storage::kNoRow) return {};
     auto row = tab.row(rid);
     undo_.push_back({f.table, f.key, rid, txn::op_kind::update,
@@ -101,10 +103,13 @@ class inplace_host final : public txn::frag_host {
   std::span<std::byte> insert_row(const txn::fragment& f,
                                   txn::txn_desc&) override {
     auto& tab = db_.at(f.table);
-    const auto rid = tab.allocate_row();
+    const auto rid = tab.allocate_row(f.part);
     auto row = tab.row(rid);
     std::memset(row.data(), 0, row.size());
-    if (!tab.index_row(f.key, rid)) return {};
+    if (!tab.index_row(f.key, rid)) {
+      tab.retire_unindexed(rid);  // duplicate key: recycle the slot
+      return {};
+    }
     undo_.push_back({f.table, f.key, rid, txn::op_kind::insert, {}});
     if (journal_ != nullptr) journal_->push_back(undo_.back());
     if (dirty_ != nullptr) dirty_->emplace_back(f.table, rid);
@@ -113,9 +118,9 @@ class inplace_host final : public txn::frag_host {
 
   bool erase_row(const txn::fragment& f, txn::txn_desc&) override {
     auto& tab = db_.at(f.table);
-    const auto rid = tab.lookup(f.key);
+    const auto rid = tab.lookup_local(f.key, f.part);
     if (rid == storage::kNoRow) return false;
-    if (!tab.erase(f.key)) return false;
+    if (!tab.erase(f.key, f.part)) return false;
     undo_.push_back({f.table, f.key, rid, txn::op_kind::erase, {}});
     if (journal_ != nullptr) journal_->push_back(undo_.back());
     return true;
@@ -140,7 +145,7 @@ inline void unwind_journal(storage::database& db,
                     it->before.size());
         break;
       case txn::op_kind::insert:
-        tab.erase(it->key);
+        tab.erase(it->key, storage::rid_shard(it->rid));
         break;
       case txn::op_kind::erase:
         tab.index_row(it->key, it->rid);

@@ -18,9 +18,15 @@ constexpr std::size_t kKeepVersions = 8;
 class mvto_engine::version_store {
  public:
   explicit version_store(storage::database& db) : db_(db) {
+    // Sidecars mirror the tables' per-partition arenas: rids address a
+    // (shard, slot), so each shard gets its own rec array.
     tables_.resize(db.table_count());
     for (table_id_t t = 0; t < db.table_count(); ++t) {
-      tables_[t] = std::make_unique<rec[]>(db.at(t).capacity());
+      const auto& tab = db.at(t);
+      tables_[t].resize(tab.shard_count());
+      for (part_id_t s = 0; s < tab.shard_count(); ++s) {
+        tables_[t][s] = std::make_unique<rec[]>(tab.shard_capacity(s));
+      }
     }
   }
 
@@ -38,7 +44,7 @@ class mvto_engine::version_store {
   };
 
   rec& at(table_id_t table, storage::row_id_t rid) {
-    return tables_[table][rid];
+    return tables_[table][storage::rid_shard(rid)][storage::rid_slot(rid)];
   }
 
   /// Seed version 0 from the loaded base row on first touch. Caller holds
@@ -52,7 +58,7 @@ class mvto_engine::version_store {
 
  private:
   storage::database& db_;
-  std::vector<std::unique_ptr<rec[]>> tables_;
+  std::vector<std::vector<std::unique_ptr<rec[]>>> tables_;
 };
 
 namespace {
@@ -84,7 +90,7 @@ class mvto_ctx final : public worker_ctx, public txn::frag_host {
     for (auto& w : writes_) {
       auto& tab = db_.at(w.table);
       if (w.op == txn::op_kind::insert) {
-        const auto rid = tab.allocate_row();
+        const auto rid = tab.allocate_row(w.part);
         auto row = tab.row(rid);
         std::memcpy(row.data(), w.buf.data(),
                     std::min(w.buf.size(), row.size()));
@@ -92,7 +98,11 @@ class mvto_ctx final : public worker_ctx, public txn::frag_host {
         std::scoped_lock guard(r.latch);
         r.chain.push_back({ts_, true, std::move(w.buf)});
         r.initialized = true;
-        tab.index_row(w.key, rid);
+        if (!tab.index_row(w.key, rid)) {
+          r.chain.clear();
+          r.initialized = false;
+          tab.retire_unindexed(rid);
+        }
         continue;
       }
       auto& r = store_.at(w.table, w.rid);
@@ -109,7 +119,9 @@ class mvto_ctx final : public worker_ctx, public txn::frag_host {
         }
       }
       prune(r);
-      if (w.op == txn::op_kind::erase) tab.erase(w.key);
+      if (w.op == txn::op_kind::erase) {
+        tab.erase(w.key, storage::rid_shard(w.rid));
+      }
     }
     return true;
   }
@@ -135,7 +147,7 @@ class mvto_ctx final : public worker_ctx, public txn::frag_host {
                                       txn::txn_desc&) override {
     if (auto* w = find_write(f.table, f.key)) return w->buf;
     auto& tab = db_.at(f.table);
-    const auto rid = tab.lookup(f.key);
+    const auto rid = tab.lookup(f.key, f.part);
     if (rid == storage::kNoRow) return {};
     auto& r = store_.at(f.table, rid);
     auto& buf = read_bufs_.emplace_back();
@@ -171,7 +183,7 @@ class mvto_ctx final : public worker_ctx, public txn::frag_host {
                                   txn::txn_desc&) override {
     if (auto* w = find_write(f.table, f.key)) return w->buf;
     auto& tab = db_.at(f.table);
-    const auto rid = tab.lookup(f.key);
+    const auto rid = tab.lookup(f.key, f.part);
     if (rid == storage::kNoRow) return {};
     auto& r = store_.at(f.table, rid);
     std::vector<std::byte> base;
@@ -224,6 +236,7 @@ class mvto_ctx final : public worker_ctx, public txn::frag_host {
     auto& w = writes_.emplace_back();
     w.table = f.table;
     w.key = f.key;
+    w.part = f.part;  // home arena for the install-time allocation
     w.op = txn::op_kind::insert;
     w.buf.assign(db_.at(f.table).layout().row_size(), std::byte{0});
     return w.buf;
@@ -231,7 +244,7 @@ class mvto_ctx final : public worker_ctx, public txn::frag_host {
 
   bool erase_row(const txn::fragment& f, txn::txn_desc&) override {
     auto& tab = db_.at(f.table);
-    const auto rid = tab.lookup(f.key);
+    const auto rid = tab.lookup(f.key, f.part);
     if (rid == storage::kNoRow) return false;
     auto& r = store_.at(f.table, rid);
     {
@@ -261,6 +274,7 @@ class mvto_ctx final : public worker_ctx, public txn::frag_host {
   struct write_rec {
     table_id_t table;
     key_t key;
+    part_id_t part = 0;  ///< home partition (insert install routes by it)
     storage::row_id_t rid = storage::kNoRow;
     txn::op_kind op = txn::op_kind::update;
     std::vector<std::byte> buf;

@@ -84,16 +84,16 @@ class silo_ctx final : public worker_ctx, public txn::frag_host {
           break;
         }
         case txn::op_kind::insert: {
-          const auto rid = tab.allocate_row();
+          const auto rid = tab.allocate_row(w.part);
           auto row = tab.row(rid);
           std::memcpy(row.data(), w.buf.data(),
                       std::min(w.buf.size(), row.size()));
           tab.meta(rid).word1.store(commit_tid, std::memory_order_release);
-          tab.index_row(w.key, rid);
+          if (!tab.index_row(w.key, rid)) tab.retire_unindexed(rid);
           break;
         }
         case txn::op_kind::erase: {
-          tab.erase(w.key);
+          tab.erase(w.key, storage::rid_shard(w.rid));
           tab.meta(w.rid).word1.store(commit_tid, std::memory_order_release);
           w.locked = false;
           break;
@@ -118,7 +118,7 @@ class silo_ctx final : public worker_ctx, public txn::frag_host {
                                       txn::txn_desc&) override {
     if (auto* w = find_write(f.table, f.key)) return w->buf;  // own write
     auto& tab = db_.at(f.table);
-    const auto rid = tab.lookup(f.key);
+    const auto rid = tab.lookup(f.key, f.part);
     if (rid == storage::kNoRow) return {};
     auto& buf = read_bufs_.emplace_back();
     const std::uint64_t tid = stable_copy(f.table, rid, buf);
@@ -130,7 +130,7 @@ class silo_ctx final : public worker_ctx, public txn::frag_host {
                                   txn::txn_desc&) override {
     if (auto* w = find_write(f.table, f.key)) return w->buf;
     auto& tab = db_.at(f.table);
-    const auto rid = tab.lookup(f.key);
+    const auto rid = tab.lookup(f.key, f.part);
     if (rid == storage::kNoRow) return {};
     auto& w = writes_.emplace_back();
     w.table = f.table;
@@ -147,6 +147,7 @@ class silo_ctx final : public worker_ctx, public txn::frag_host {
     auto& w = writes_.emplace_back();
     w.table = f.table;
     w.key = f.key;
+    w.part = f.part;  // home arena for the install-time allocation
     w.op = txn::op_kind::insert;
     w.buf.assign(db_.at(f.table).layout().row_size(), std::byte{0});
     return w.buf;
@@ -154,7 +155,7 @@ class silo_ctx final : public worker_ctx, public txn::frag_host {
 
   bool erase_row(const txn::fragment& f, txn::txn_desc&) override {
     auto& tab = db_.at(f.table);
-    const auto rid = tab.lookup(f.key);
+    const auto rid = tab.lookup(f.key, f.part);
     if (rid == storage::kNoRow) return false;
     auto& w = writes_.emplace_back();
     w.table = f.table;
@@ -173,6 +174,7 @@ class silo_ctx final : public worker_ctx, public txn::frag_host {
   struct write_rec {
     table_id_t table;
     key_t key;
+    part_id_t part = 0;  ///< home partition (insert install routes by it)
     storage::row_id_t rid = storage::kNoRow;
     txn::op_kind op = txn::op_kind::update;
     bool locked = false;

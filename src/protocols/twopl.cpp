@@ -54,7 +54,7 @@ class twopl_ctx final : public worker_ctx, public txn::frag_host {
   std::span<const std::byte> read_row(const txn::fragment& f,
                                       txn::txn_desc&) override {
     auto& tab = db_.at(f.table);
-    const auto rid = tab.lookup(f.key);
+    const auto rid = tab.lookup(f.key, f.part);
     if (rid == storage::kNoRow) return {};
     if (!acquire(f.table, rid, lock_mode::shared)) return {};
     return tab.row(rid);
@@ -63,7 +63,7 @@ class twopl_ctx final : public worker_ctx, public txn::frag_host {
   std::span<std::byte> update_row(const txn::fragment& f,
                                   txn::txn_desc&) override {
     auto& tab = db_.at(f.table);
-    const auto rid = tab.lookup(f.key);
+    const auto rid = tab.lookup(f.key, f.part);
     if (rid == storage::kNoRow) return {};
     if (!acquire(f.table, rid, lock_mode::exclusive)) return {};
     auto row = tab.row(rid);
@@ -75,7 +75,7 @@ class twopl_ctx final : public worker_ctx, public txn::frag_host {
   std::span<std::byte> insert_row(const txn::fragment& f,
                                   txn::txn_desc&) override {
     auto& tab = db_.at(f.table);
-    const auto rid = tab.allocate_row();
+    const auto rid = tab.allocate_row(f.part);
     auto row = tab.row(rid);
     std::memset(row.data(), 0, row.size());
     // The new row is exclusively ours until commit: latch it before
@@ -87,7 +87,12 @@ class twopl_ctx final : public worker_ctx, public txn::frag_host {
     }
     held_.push_back({f.table, rid, lock_mode::exclusive});
     if (!tab.index_row(f.key, rid)) {
-      cc_failed_ = true;  // duplicate key: treat as conflict and retry
+      // Duplicate key: drop the latch we just took on the unindexed slot
+      // and recycle it instead of leaking loader headroom on every retry.
+      tab.meta(rid).word1.store(0, std::memory_order_release);
+      held_.pop_back();
+      tab.retire_unindexed(rid);
+      cc_failed_ = true;  // treat as conflict and retry
       return {};
     }
     undo_.push_back({f.table, f.key, rid, txn::op_kind::insert, {}});
@@ -96,10 +101,10 @@ class twopl_ctx final : public worker_ctx, public txn::frag_host {
 
   bool erase_row(const txn::fragment& f, txn::txn_desc&) override {
     auto& tab = db_.at(f.table);
-    const auto rid = tab.lookup(f.key);
+    const auto rid = tab.lookup(f.key, f.part);
     if (rid == storage::kNoRow) return false;
     if (!acquire(f.table, rid, lock_mode::exclusive)) return false;
-    if (!tab.erase(f.key)) return false;
+    if (!tab.erase(f.key, f.part)) return false;
     undo_.push_back({f.table, f.key, rid, txn::op_kind::erase, {}});
     return true;
   }
@@ -218,7 +223,7 @@ class twopl_ctx final : public worker_ctx, public txn::frag_host {
                       it->before.size());
           break;
         case txn::op_kind::insert:
-          tab.erase(it->key);
+          tab.erase(it->key, storage::rid_shard(it->rid));
           break;
         case txn::op_kind::erase:
           tab.index_row(it->key, it->rid);

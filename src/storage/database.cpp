@@ -3,9 +3,18 @@
 namespace quecc::storage {
 
 table& database::create_table(const std::string& name, schema s,
-                              std::size_t capacity) {
+                              std::size_t capacity, part_id_t shards) {
   const table_id_t id = cat_.register_table(name);
-  tables_.push_back(std::make_unique<table>(id, name, std::move(s), capacity));
+  tables_.push_back(
+      std::make_unique<table>(id, name, std::move(s), capacity, shards));
+  return *tables_.back();
+}
+
+table& database::create_table(const std::string& name, schema s,
+                              std::vector<std::size_t> shard_capacities) {
+  const table_id_t id = cat_.register_table(name);
+  tables_.push_back(std::make_unique<table>(id, name, std::move(s),
+                                            std::move(shard_capacities)));
   return *tables_.back();
 }
 
@@ -21,10 +30,19 @@ std::uint64_t database::state_hash() const {
 std::unique_ptr<database> database::clone() const {
   auto copy = std::make_unique<database>();
   for (const auto& t : tables_) {
-    auto& nt = copy->create_table(t->name(), t->layout(), t->capacity());
+    std::vector<std::size_t> caps(t->shard_count());
+    for (part_id_t s = 0; s < t->shard_count(); ++s) {
+      caps[s] = t->shard_capacity(s);
+    }
+    auto& nt = copy->create_table(t->name(), t->layout(), std::move(caps));
     nt.set_replicated(t->replicated());
-    t->for_each_live(
-        [&](key_t key, row_id_t rid) { nt.insert(key, t->row(rid)); });
+    // Shard-by-shard so every row lands in the arena it came from (shard
+    // indexes double as the partition hint: home_shard(s) == s).
+    for (part_id_t s = 0; s < t->shard_count(); ++s) {
+      t->for_each_live_in(s, [&](key_t key, row_id_t rid) {
+        nt.insert(key, t->row(rid), s);
+      });
+    }
   }
   return copy;
 }

@@ -17,7 +17,16 @@ namespace quecc::storage {
 class database {
  public:
   /// Create a table and return a reference valid for the database lifetime.
-  table& create_table(const std::string& name, schema s, std::size_t capacity);
+  /// `shards` arenas split the capacity evenly; loaders pass their
+  /// partition count so executors touch per-partition arenas (see
+  /// table.hpp). Default 1 keeps ad-hoc tables unsharded.
+  table& create_table(const std::string& name, schema s, std::size_t capacity,
+                      part_id_t shards = 1);
+
+  /// Create a table with explicit per-shard capacities (uneven partition
+  /// key shares, e.g. TPC-C warehouses % partitions != 0).
+  table& create_table(const std::string& name, schema s,
+                      std::vector<std::size_t> shard_capacities);
 
   table& at(table_id_t id) { return *tables_.at(id); }
   const table& at(table_id_t id) const { return *tables_.at(id); }

@@ -10,12 +10,16 @@ dual_version_store::dual_version_store(const database& db) {
     const auto& tab = db.at(t);
     auto& s = shadows_[t];
     s.row_size = tab.layout().row_size();
-    s.capacity = tab.capacity();
-    s.bytes = std::make_unique<std::byte[]>(s.row_size * s.capacity);
-    // Snapshot currently loaded rows; unallocated slots stay zeroed and are
-    // published when first inserted.
-    std::memcpy(s.bytes.get(), tab.row(0).data(),
-                s.row_size * tab.allocated_rows());
+    s.shards.resize(tab.shard_count());
+    for (part_id_t sh = 0; sh < tab.shard_count(); ++sh) {
+      auto& ss = s.shards[sh];
+      ss.capacity = tab.shard_capacity(sh);
+      ss.bytes = std::make_unique<std::byte[]>(s.row_size * ss.capacity);
+      // Snapshot every slot touched so far; unallocated slots stay zeroed
+      // and are published when first inserted.
+      std::memcpy(ss.bytes.get(), tab.shard_slab(sh).data(),
+                  s.row_size * tab.high_water_in(sh));
+    }
   }
 }
 
@@ -23,7 +27,8 @@ void dual_version_store::publish(const database& db, table_id_t table,
                                  row_id_t rid) noexcept {
   auto& s = shadows_[table];
   const auto src = db.at(table).row(rid);
-  std::memcpy(s.bytes.get() + rid * s.row_size, src.data(), s.row_size);
+  std::memcpy(s.shards[rid_shard(rid)].bytes.get() + rid_slot(rid) * s.row_size,
+              src.data(), s.row_size);
 }
 
 void dual_version_store::publish_all_dirty(

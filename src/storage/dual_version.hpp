@@ -6,6 +6,12 @@
 // the speculative (working) versions; this sidecar keeps a committed copy
 // per row. The commit epilogue publishes the batch's dirty rows, flipping
 // them visible to the read-committed read queues of the *next* batch.
+//
+// Shadows mirror the tables' shard layout (one slab per per-partition
+// arena, see table.hpp): row ids carry their shard in the high bits, so
+// the committed image of a row lives at the same (shard, slot) as the
+// working copy — publishing stays a single memcpy and executors on
+// disjoint partitions touch disjoint shadow slabs too.
 #pragma once
 
 #include <cstddef>
@@ -26,7 +32,8 @@ class dual_version_store {
   std::span<const std::byte> committed_row(table_id_t table,
                                            row_id_t rid) const noexcept {
     const auto& t = shadows_[table];
-    return {t.bytes.get() + rid * t.row_size, t.row_size};
+    return {t.shards[rid_shard(rid)].bytes.get() + rid_slot(rid) * t.row_size,
+            t.row_size};
   }
 
   /// Copy a row's current (working) bytes into the committed image.
@@ -38,10 +45,13 @@ class dual_version_store {
                              dirty) noexcept;
 
  private:
-  struct shadow {
+  struct shard_shadow {
     std::unique_ptr<std::byte[]> bytes;
-    std::size_t row_size = 0;
     std::size_t capacity = 0;
+  };
+  struct shadow {
+    std::vector<shard_shadow> shards;
+    std::size_t row_size = 0;
   };
   std::vector<shadow> shadows_;
 };

@@ -12,10 +12,21 @@ std::size_t round_pow2(std::size_t n) {
 }  // namespace
 
 hash_index::hash_index(std::size_t expected)
-    : buckets_(round_pow2(expected * 2)),
+    : buckets_(round_pow2(expected)),
       locks_(std::min<std::size_t>(round_pow2(expected / 64 + 1), 4096)) {
   mask_ = buckets_.size() - 1;
   lock_mask_ = locks_.size() - 1;
+}
+
+hash_index::~hash_index() {
+  for (auto& b : buckets_) {
+    node* n = b.head.next.load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
 }
 
 std::uint64_t hash_index::mix(key_t key) noexcept {
@@ -41,41 +52,82 @@ common::spinlock& hash_index::lock_for(key_t key) const noexcept {
   return locks_[mix(key) & lock_mask_];
 }
 
-row_id_t hash_index::lookup(key_t key) const noexcept {
-  std::scoped_lock guard(lock_for(key));
-  for (const auto& e : bucket_for(key).entries) {
-    if (e.key == key) return e.row;
+row_id_t hash_index::find(key_t key) const noexcept {
+  for (const node* n = &bucket_for(key).head; n != nullptr;
+       n = n->next.load(std::memory_order_acquire)) {
+    const std::uint32_t c = n->count.load(std::memory_order_acquire);
+    for (std::uint32_t i = 0; i < c; ++i) {
+      if (n->slots[i].key == key) {
+        return n->slots[i].row.load(std::memory_order_acquire);
+      }
+    }
   }
   return kNoRow;
 }
 
+row_id_t hash_index::lookup(key_t key) const noexcept {
+  std::scoped_lock guard(lock_for(key));
+  return find(key);
+}
+
+row_id_t hash_index::lookup_unlocked(key_t key) const noexcept {
+  return find(key);
+}
+
 bool hash_index::insert(key_t key, row_id_t row) {
   std::scoped_lock guard(lock_for(key));
-  auto& b = bucket_for(key);
-  for (const auto& e : b.entries) {
-    if (e.key == key) return false;
+  node* last = &bucket_for(key).head;
+  for (node* n = last; n != nullptr;
+       n = n->next.load(std::memory_order_relaxed)) {
+    const std::uint32_t c = n->count.load(std::memory_order_relaxed);
+    for (std::uint32_t i = 0; i < c; ++i) {
+      if (n->slots[i].key == key) {
+        if (n->slots[i].row.load(std::memory_order_relaxed) != kNoRow) {
+          return false;  // live duplicate
+        }
+        // Tombstone reclaim: lock-free readers observe the flip atomically.
+        n->slots[i].row.store(row, std::memory_order_release);
+        live_.fetch_add(1, std::memory_order_acq_rel);
+        return true;
+      }
+    }
+    last = n;
   }
-  b.entries.push_back({key, row});
+  const std::uint32_t c = last->count.load(std::memory_order_relaxed);
+  if (c < kNodeEntries) {
+    // Write the slot fully, then publish it via the count: a concurrent
+    // lock-free reader acquiring the count sees a complete entry.
+    last->slots[c].key = key;
+    last->slots[c].row.store(row, std::memory_order_relaxed);
+    last->count.store(c + 1, std::memory_order_release);
+  } else {
+    node* fresh = new node;
+    fresh->slots[0].key = key;
+    fresh->slots[0].row.store(row, std::memory_order_relaxed);
+    fresh->count.store(1, std::memory_order_relaxed);
+    last->next.store(fresh, std::memory_order_release);  // publish the node
+  }
+  live_.fetch_add(1, std::memory_order_acq_rel);
   return true;
 }
 
 bool hash_index::erase(key_t key) {
   std::scoped_lock guard(lock_for(key));
-  auto& entries = bucket_for(key).entries;
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    if (entries[i].key == key) {
-      entries[i] = entries.back();
-      entries.pop_back();
-      return true;
+  for (node* n = &bucket_for(key).head; n != nullptr;
+       n = n->next.load(std::memory_order_relaxed)) {
+    const std::uint32_t c = n->count.load(std::memory_order_relaxed);
+    for (std::uint32_t i = 0; i < c; ++i) {
+      if (n->slots[i].key == key) {
+        if (n->slots[i].row.load(std::memory_order_relaxed) == kNoRow) {
+          return false;  // already tombstoned
+        }
+        n->slots[i].row.store(kNoRow, std::memory_order_release);
+        live_.fetch_sub(1, std::memory_order_acq_rel);
+        return true;
+      }
     }
   }
   return false;
-}
-
-std::size_t hash_index::size() const noexcept {
-  std::size_t n = 0;
-  for (const auto& b : buckets_) n += b.entries.size();
-  return n;
 }
 
 }  // namespace quecc::storage

@@ -1,14 +1,34 @@
 // Primary-key hash index: key -> row id.
 //
-// Bucket-chained with striped spinlocks. Lookups and inserts are short
-// critical sections (CP.43); stripes keep cross-partition traffic apart.
-// Deterministic engines do all lookups in the planning phase, so the
-// execution phase never touches the index except for inserts/deletes that
-// are themselves routed to a single home partition.
+// Buckets are chains of fixed-slot nodes published with release/acquire
+// atomics, which splits the synchronization story in two:
+//
+//  * Writers (insert/erase) serialize through striped spinlocks — short
+//    critical sections (CP.43); stripes keep unrelated keys apart. This is
+//    the path concurrent loaders and the cross-partition baselines
+//    (2PL/Silo/TicToc/MVTO) use.
+//  * Readers never need a lock. `lookup_unlocked` walks the node chain
+//    with acquire loads; writers publish a new entry by storing the slot
+//    first and release-incrementing the node's entry count (or
+//    release-linking a fresh node), so a reader either sees a fully
+//    written entry or none at all. Entries are never moved or deleted —
+//    erase tombstones the row id in place (slot retired, reclaimed only by
+//    a re-insert of the same key) — so a lock-free walk can never observe
+//    a torn or recycled slot. The deterministic engines rely on this:
+//    partition-local lookups (planner resolve, executor resolve fallback)
+//    take no index lock at all, the paper's "no per-record concurrency
+//    control on the execution path" made literal. `lookup` (stripe-locked)
+//    remains for callers without partition affinity.
+//
+// Size guarantee: `size()` reads a single atomic counter maintained by
+// insert/erase, so it is O(1), exact at quiescent points, and safe (a
+// momentarily stale but torn-free value) while writers run — it never
+// walks buckets concurrently mutated by insert, which the old
+// implementation did.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <optional>
 #include <vector>
 
 #include "common/spinlock.hpp"
@@ -23,34 +43,63 @@ class hash_index {
  public:
   /// `expected` sizes the bucket array (rounded up to a power of two).
   explicit hash_index(std::size_t expected);
+  ~hash_index();
+  hash_index(const hash_index&) = delete;
+  hash_index& operator=(const hash_index&) = delete;
 
-  /// Returns kNoRow when absent (including tombstoned keys).
+  /// Stripe-locked lookup; returns kNoRow when absent (including
+  /// tombstoned keys). For callers without partition affinity.
   row_id_t lookup(key_t key) const noexcept;
 
-  /// Insert; returns false when the key already exists.
+  /// Lock-free lookup (see header comment): safe concurrently with
+  /// writers, takes no lock of any kind. The partition-local hot path.
+  row_id_t lookup_unlocked(key_t key) const noexcept;
+
+  /// Insert; returns false when the key already exists (live). Re-inserting
+  /// a tombstoned key reclaims its slot.
   bool insert(key_t key, row_id_t row);
 
-  /// Remove; returns false when the key was absent.
+  /// Remove; returns false when the key was absent. Tombstones in place.
   bool erase(key_t key);
 
-  std::size_t size() const noexcept;
+  /// Live entries, O(1) from an atomic counter (see header comment).
+  std::size_t size() const noexcept {
+    return live_.load(std::memory_order_acquire);
+  }
 
-  /// Visit every (key, row) pair; not concurrent with writers. Used by
-  /// state hashing and loaders only.
+  /// Visit every live (key, row) pair; not concurrent with writers. Used
+  /// by state hashing, checkpoints, and loaders only.
   template <typename Fn>
   void for_each(Fn&& fn) const {
     for (const auto& b : buckets_) {
-      for (const auto& e : b.entries) fn(e.key, e.row);
+      for (const node* n = &b.head; n != nullptr;
+           n = n->next.load(std::memory_order_acquire)) {
+        const std::uint32_t c = n->count.load(std::memory_order_acquire);
+        for (std::uint32_t i = 0; i < c; ++i) {
+          const row_id_t r = n->slots[i].row.load(std::memory_order_acquire);
+          if (r != kNoRow) fn(n->slots[i].key, r);
+        }
+      }
     }
   }
 
  private:
+  /// Slots per chain node. The inline head node covers the common case
+  /// (bucket array is sized to ~1 key per bucket); overflow nodes are
+  /// allocated under the stripe lock and freed in the destructor.
+  static constexpr std::uint32_t kNodeEntries = 4;
+
   struct entry {
-    key_t key;
-    row_id_t row;
+    key_t key = 0;
+    std::atomic<row_id_t> row{kNoRow};
+  };
+  struct node {
+    std::atomic<std::uint32_t> count{0};
+    std::atomic<node*> next{nullptr};
+    entry slots[kNodeEntries];
   };
   struct bucket {
-    std::vector<entry> entries;
+    node head;
   };
 
   static std::uint64_t mix(key_t key) noexcept;
@@ -58,8 +107,14 @@ class hash_index {
   bucket& bucket_for(key_t key) noexcept;
   common::spinlock& lock_for(key_t key) const noexcept;
 
+  /// Chain walk shared by both lookup flavors; memory order of the loads
+  /// is acquire so the lock-free caller is safe (harmless overkill under
+  /// the stripe lock).
+  row_id_t find(key_t key) const noexcept;
+
   std::vector<bucket> buckets_;
   mutable std::vector<common::spinlock> locks_;
+  std::atomic<std::size_t> live_{0};
   std::uint64_t mask_ = 0;
   std::uint64_t lock_mask_ = 0;
 };

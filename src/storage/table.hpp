@@ -1,10 +1,29 @@
-// In-memory table: fixed-width rows + primary-key hash index + per-row
-// protocol metadata.
+// In-memory table: per-partition row arenas + primary-key hash-index
+// shards + per-row protocol metadata.
 //
-// Capacity is preallocated at construction so row spans stay valid for the
-// table's lifetime — executors across threads hold spans concurrently and a
-// reallocating vector would invalidate them. Loaders size tables with
-// headroom for benchmark inserts (TPC-C orders/order-lines).
+// A table is split into `shard_count()` arenas, one per storage partition:
+// each shard owns its own row slab, row-meta array, and hash-index shard,
+// so executors that the planner confined to disjoint partitions touch
+// disjoint cache lines and disjoint index memory — the storage-level
+// counterpart of the paradigm's "planning already decided who touches
+// what". A future NUMA-aware placement pins shard s of every table on the
+// node that `dist::placement::node_of_part(s)` names.
+//
+// Row ids carry their shard in the high 16 bits (`rid_shard`/`rid_slot`),
+// so `row()`/`meta()` signatures, span lifetimes, and kNoRow sentinels are
+// unchanged for callers. Capacity is preallocated per shard at
+// construction so row spans stay valid for the table's lifetime —
+// executors across threads hold spans concurrently and a reallocating
+// slab would invalidate them. Loaders size shards from their per-partition
+// key share (with headroom for benchmark inserts, e.g. TPC-C
+// orders/order-lines).
+//
+// Locking: key operations take a `part` hint naming the home partition.
+// `lookup_local` routes to the home shard and takes no index lock at all
+// (see hash_index.hpp for why lock-free reads are safe); `lookup` keeps
+// the stripe-locked path for cross-partition baselines (2PL/Silo/TicToc)
+// and anything without partition affinity. Writers (insert/erase) always
+// serialize through the home shard's stripes.
 #pragma once
 
 #include <atomic>
@@ -14,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/spinlock.hpp"
 #include "common/types.hpp"
 #include "storage/hash_index.hpp"
 #include "storage/schema.hpp"
@@ -31,75 +51,207 @@ struct row_meta {
   std::atomic<std::uint64_t> word2{0};
 };
 
+// --- row-id codec ----------------------------------------------------------
+// High 16 bits: shard (home partition's arena). Low 48 bits: slot within
+// the shard's slab. kNoRow (all ones) never collides: shard counts are
+// bounded by part_id_t and slots by per-shard capacity, both far below the
+// sentinel. Callers must keep checking `rid == kNoRow` before decoding.
+inline constexpr unsigned kRidShardShift = 48;
+inline constexpr row_id_t kRidSlotMask = (row_id_t{1} << kRidShardShift) - 1;
+
+constexpr row_id_t make_rid(part_id_t shard, std::uint64_t slot) noexcept {
+  return (static_cast<row_id_t>(shard) << kRidShardShift) | slot;
+}
+constexpr part_id_t rid_shard(row_id_t rid) noexcept {
+  return static_cast<part_id_t>(rid >> kRidShardShift);
+}
+constexpr std::uint64_t rid_slot(row_id_t rid) noexcept {
+  return rid & kRidSlotMask;
+}
+
 class table {
  public:
-  /// `capacity` rows are preallocated; exceeding it throws std::length_error
+  /// `capacity` rows are preallocated, split evenly (rounded up) across
+  /// `shards` arenas; exceeding a shard's share throws std::length_error
   /// from insert/allocate (tables are sized by the loader, growth would
   /// invalidate concurrently-held row spans).
-  table(table_id_t id, std::string name, schema s, std::size_t capacity);
+  table(table_id_t id, std::string name, schema s, std::size_t capacity,
+        part_id_t shards = 1);
+
+  /// Explicit per-shard capacities, for loaders whose key share is uneven
+  /// across partitions (e.g. TPC-C with warehouses % partitions != 0).
+  table(table_id_t id, std::string name, schema s,
+        std::vector<std::size_t> shard_capacities);
 
   table_id_t id() const noexcept { return id_; }
   const std::string& name() const noexcept { return name_; }
   const schema& layout() const noexcept { return schema_; }
+
+  // --- shard geometry -----------------------------------------------------
+  part_id_t shard_count() const noexcept {
+    return static_cast<part_id_t>(shards_.size());
+  }
+  /// Arena backing home partition `part`. Single-shard tables (including
+  /// replicated ones, loaded once and read-only after) collapse every
+  /// partition onto shard 0; otherwise partitions stripe over shards.
+  part_id_t home_shard(part_id_t part) const noexcept {
+    return shards_.size() == 1
+               ? 0
+               : static_cast<part_id_t>(part % shards_.size());
+  }
   std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t shard_capacity(part_id_t s) const {
+    return shards_[s]->capacity;
+  }
+  /// Entire slab of shard `s` (all capacity rows); snapshot substrate for
+  /// the dual-version store.
+  std::span<const std::byte> shard_slab(part_id_t s) const {
+    const shard& sh = *shards_[s];
+    return {sh.slots.get(), sh.capacity * row_size_};
+  }
 
   /// Read-only tables replicated at every partition (TPC-C's ITEM):
   /// partitioned engines treat reads of them as partition-local, exactly
-  /// like H-Store's replicated dimension tables.
+  /// like H-Store's replicated dimension tables. Such tables are loaded
+  /// with a single shard that every partition's lookups route to.
   void set_replicated(bool r) noexcept { replicated_ = r; }
   bool replicated() const noexcept { return replicated_; }
-  std::size_t allocated_rows() const noexcept {
-    return next_row_.load(std::memory_order_acquire);
+
+  /// Slots currently in use (live + erase-retired); recycled slots
+  /// (duplicate-key insert failures) are not counted, so this tracks
+  /// live_rows() instead of drifting away from it under duplicate storms.
+  std::size_t allocated_rows() const noexcept;
+  std::size_t allocated_rows_in(part_id_t s) const noexcept {
+    const shard& sh = *shards_[s];
+    // Load free_count first: every counted free slot corresponds to an
+    // earlier allocation, so this order keeps the difference non-negative
+    // even while writers churn (the reverse order could transiently
+    // observe more frees than allocations and wrap).
+    const std::uint64_t freed =
+        sh.free_count.load(std::memory_order_acquire);
+    return sh.next_row.load(std::memory_order_acquire) - freed;
+  }
+  /// Slots ever handed out in shard `s` (allocation high-water mark); the
+  /// bound a snapshot of the slab must cover.
+  std::size_t high_water_in(part_id_t s) const noexcept {
+    return shards_[s]->next_row.load(std::memory_order_acquire);
   }
 
   // --- row access ---------------------------------------------------------
   std::span<std::byte> row(row_id_t rid) noexcept {
-    return {slots_.get() + rid * row_size_, row_size_};
+    shard& sh = *shards_[rid_shard(rid)];
+    return {sh.slots.get() + rid_slot(rid) * row_size_, row_size_};
   }
   std::span<const std::byte> row(row_id_t rid) const noexcept {
-    return {slots_.get() + rid * row_size_, row_size_};
+    const shard& sh = *shards_[rid_shard(rid)];
+    return {sh.slots.get() + rid_slot(rid) * row_size_, row_size_};
   }
-  row_meta& meta(row_id_t rid) noexcept { return meta_[rid]; }
+  row_meta& meta(row_id_t rid) noexcept {
+    return shards_[rid_shard(rid)]->meta[rid_slot(rid)];
+  }
 
   // --- key operations -----------------------------------------------------
-  row_id_t lookup(key_t key) const noexcept { return index_.lookup(key); }
+  // The `part` hint names the key's home partition; it defaults to 0 so
+  // single-shard tables (ad-hoc tests, replicated tables) keep the old
+  // one-argument calls. CAUTION: on a multi-shard table the default is
+  // NOT "search everywhere" — a one-argument lookup/erase only sees shard
+  // 0 and silently misses keys homed elsewhere. Callers touching sharded
+  // tables must pass the fragment's `part` (or `rid_shard(rid)` on
+  // rollback paths).
 
-  /// Allocate a fresh slot (concurrent-safe) without indexing it yet.
-  row_id_t allocate_row();
+  /// Stripe-locked lookup in `part`'s home shard. The baseline /
+  /// no-affinity path.
+  row_id_t lookup(key_t key, part_id_t part = 0) const noexcept {
+    return shards_[home_shard(part)]->index.lookup(key);
+  }
 
-  /// Allocate + copy payload + index. Returns kNoRow on duplicate key.
-  row_id_t insert(key_t key, std::span<const std::byte> payload);
+  /// Partition-local lookup: routes straight to the home shard and takes
+  /// no index lock at all (safe against concurrent writers, see
+  /// hash_index.hpp). The planner-resolve / executor hot path.
+  row_id_t lookup_local(key_t key, part_id_t part) const noexcept {
+    return shards_[home_shard(part)]->index.lookup_unlocked(key);
+  }
 
-  /// Index a previously allocated row under `key`.
-  bool index_row(key_t key, row_id_t rid) { return index_.insert(key, rid); }
+  /// Allocate a fresh slot in `part`'s home shard (concurrent-safe)
+  /// without indexing it yet.
+  row_id_t allocate_row(part_id_t part = 0);
 
-  /// Unlink a key (slot is retired, not reused). Returns false if absent.
-  bool erase(key_t key) { return index_.erase(key); }
+  /// Return an allocated-but-never-indexed slot (duplicate-key insert
+  /// failure) to its shard's free list and reset its protocol metadata.
+  /// Only valid for slots no other thread can reference.
+  void retire_unindexed(row_id_t rid);
 
-  std::size_t live_rows() const noexcept { return index_.size(); }
+  /// Allocate + copy payload + index into `part`'s home shard. Returns
+  /// kNoRow on duplicate key (the slot is recycled, not leaked). Throws
+  /// std::invalid_argument when the payload is wider than a row — a schema
+  /// mismatch must fail loudly, not silently truncate into a corrupt row.
+  row_id_t insert(key_t key, std::span<const std::byte> payload,
+                  part_id_t part = 0);
 
-  /// Visit all live (key, row id) pairs. Not safe concurrently with writes.
+  /// Index a previously allocated row under `key` (shard taken from the
+  /// rid, which allocate_row encoded).
+  bool index_row(key_t key, row_id_t rid) {
+    return shards_[rid_shard(rid)]->index.insert(key, rid);
+  }
+
+  /// Unlink a key from `part`'s home shard (slot is retired, not reused).
+  /// Returns false if absent. Rollback paths without a partition at hand
+  /// pass `rid_shard(rid)` of the row they are unlinking.
+  bool erase(key_t key, part_id_t part = 0) {
+    return shards_[home_shard(part)]->index.erase(key);
+  }
+
+  std::size_t live_rows() const noexcept;
+  std::size_t live_rows_in(part_id_t s) const noexcept {
+    return shards_[s]->index.size();
+  }
+
+  /// Visit all live (key, row id) pairs, shard-major. Not safe
+  /// concurrently with writes.
   template <typename Fn>
   void for_each_live(Fn&& fn) const {
-    index_.for_each([&](key_t k, row_id_t rid) { fn(k, rid); });
+    for (const auto& sh : shards_) {
+      sh->index.for_each([&](key_t k, row_id_t rid) { fn(k, rid); });
+    }
+  }
+
+  /// Visit shard `s`'s live pairs only (checkpointing, clone).
+  template <typename Fn>
+  void for_each_live_in(part_id_t s, Fn&& fn) const {
+    shards_[s]->index.for_each([&](key_t k, row_id_t rid) { fn(k, rid); });
   }
 
   /// Order-independent hash over live (key, payload) pairs; equal table
-  /// contents hash equal regardless of insertion order. Tests use this to
-  /// compare engines.
+  /// contents hash equal regardless of insertion order *and* of shard
+  /// count (rids and shard layout never enter the hash). Tests use this to
+  /// compare engines and recovery paths.
   std::uint64_t state_hash() const;
 
  private:
+  /// One partition's arena: row slab + meta + index shard + allocator.
+  struct shard {
+    shard(std::size_t cap, std::size_t row_size)
+        : slots(std::make_unique<std::byte[]>(row_size * cap)),
+          meta(cap),
+          index(cap),
+          capacity(cap) {}
+    std::unique_ptr<std::byte[]> slots;
+    std::vector<row_meta> meta;
+    hash_index index;
+    std::atomic<std::uint64_t> next_row{0};
+    common::spinlock free_lock;
+    std::vector<std::uint64_t> free_slots;  ///< recycled slot numbers
+    std::atomic<std::uint32_t> free_count{0};
+    std::size_t capacity;
+  };
+
   table_id_t id_;
   std::string name_;
   schema schema_;
   std::size_t row_size_;
   std::size_t capacity_;
   bool replicated_ = false;
-  std::unique_ptr<std::byte[]> slots_;
-  std::vector<row_meta> meta_;
-  hash_index index_;
-  std::atomic<std::uint64_t> next_row_{0};
+  std::vector<std::unique_ptr<shard>> shards_;
 };
 
 }  // namespace quecc::storage

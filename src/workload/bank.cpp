@@ -40,13 +40,15 @@ bank::bank(bank_config cfg)
     : cfg_(cfg), proc_("bank-transfer", &run_fragment, 1) {}
 
 void bank::load(storage::database& db) {
-  auto& tab = db.create_table("account", account_schema(), cfg_.accounts + 1);
+  // One arena per partition; account a's home partition is a % partitions.
+  auto& tab = db.create_table("account", account_schema(), cfg_.accounts + 1,
+                              cfg_.partitions);
   table_ = tab.id();
   std::vector<std::byte> row(tab.layout().row_size());
   for (std::uint64_t a = 0; a < cfg_.accounts; ++a) {
     std::span<std::byte> s(row);
     storage::write_u64(s, 0, cfg_.initial_balance);
-    tab.insert(a, row);
+    tab.insert(a, row, static_cast<part_id_t>(a % cfg_.partitions));
   }
 }
 

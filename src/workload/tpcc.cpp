@@ -450,25 +450,52 @@ tpcc::tpcc(tpcc_config cfg)
 
 void tpcc::load(storage::database& db) {
   const std::uint64_t W = cfg_.warehouses;
+  const part_id_t P = cfg_.partitions;
   const std::uint64_t n0 = cfg_.initial_orders_per_district;
   const std::uint64_t order_cap =
       W * kDistrictsPerWarehouse *
       (n0 + cfg_.order_headroom_per_district);
 
-  auto& wh = db.create_table("warehouse", warehouse_schema(), W + 1);
+  // Warehouse-keyed tables get one arena per partition, sized from the
+  // shard's actual warehouse share (warehouses stripe as w % partitions,
+  // so shares are uneven whenever W % P != 0 — classic 1-warehouse TPC-C
+  // puts everything in shard 0). The +1 keeps empty shards constructible.
+  std::vector<std::uint64_t> wshare(P, 0);
+  for (std::uint64_t w = 0; w < W; ++w) ++wshare[part_of_warehouse(w)];
+  const auto by_warehouse = [&](std::uint64_t rows_per_warehouse) {
+    std::vector<std::size_t> caps(P);
+    for (part_id_t s = 0; s < P; ++s) {
+      caps[s] = static_cast<std::size_t>(wshare[s] * rows_per_warehouse) + 1;
+    }
+    return caps;
+  };
+  const std::uint64_t orders_per_warehouse =
+      kDistrictsPerWarehouse * (n0 + cfg_.order_headroom_per_district);
+
+  auto& wh = db.create_table("warehouse", warehouse_schema(),
+                             by_warehouse(1));
   auto& di = db.create_table("district", district_schema(),
-                             W * kDistrictsPerWarehouse + 1);
+                             by_warehouse(kDistrictsPerWarehouse));
   auto& cu = db.create_table("customer", customer_schema(),
-                             W * kDistrictsPerWarehouse *
-                                 kCustomersPerDistrict + 1);
+                             by_warehouse(kDistrictsPerWarehouse *
+                                          kCustomersPerDistrict));
+  // HISTORY keys are a global insert counter, so the home partition (the
+  // payment's warehouse) is not derivable from the key and the per-shard
+  // share is workload-skew dependent: keep it a single arena.
   auto& hi = db.create_table("history", history_schema(), order_cap * 2);
-  auto& no = db.create_table("new_order", new_order_schema(), order_cap);
-  auto& od = db.create_table("orders", orders_schema(), order_cap);
+  auto& no = db.create_table("new_order", new_order_schema(),
+                             by_warehouse(orders_per_warehouse));
+  auto& od = db.create_table("orders", orders_schema(),
+                             by_warehouse(orders_per_warehouse));
   auto& ol = db.create_table("order_line", order_line_schema(),
-                             order_cap * kMaxOrderLines);
+                             by_warehouse(orders_per_warehouse *
+                                          kMaxOrderLines));
+  // ITEM is read-only and replicated per partition: one shard that every
+  // partition's (lock-free) lookups route to.
   auto& it = db.create_table("item", item_schema(), kItems + 1);
-  it.set_replicated(true);  // ITEM is read-only: replicated per partition
-  auto& st = db.create_table("stock", stock_schema(), W * (kItems + 16));
+  it.set_replicated(true);
+  auto& st = db.create_table("stock", stock_schema(),
+                             by_warehouse(kItems + 16));
 
   warehouse_ = wh.id();
   district_ = di.id();
@@ -495,20 +522,21 @@ void tpcc::load(storage::database& db) {
   }
 
   for (std::uint64_t w = 0; w < W; ++w) {
+    const part_id_t part = part_of_warehouse(w);
     {
       auto r = row(wh.layout().row_size());
       std::fill(r.begin(), r.end(), std::byte{0});
       storage::write_f64(r, col::w_tax,
                          static_cast<double>(mix(w, 3) % 2000) / 10000.0);
       storage::write_f64(r, col::w_ytd, 300000.0);
-      wh.insert(warehouse_key(w), r);
+      wh.insert(warehouse_key(w), r, part);
     }
     for (std::uint64_t i = 0; i < kItems; ++i) {
       auto r = row(st.layout().row_size());
       std::fill(r.begin(), r.end(), std::byte{0});
       storage::write_i64(r, col::s_quantity,
                          10 + static_cast<std::int64_t>(mix(w, i) % 91));
-      st.insert(stock_key(w, i), r);
+      st.insert(stock_key(w, i), r, part);
     }
     for (std::uint64_t d = 0; d < kDistrictsPerWarehouse; ++d) {
       district_state& ds = district_of(w, d);
@@ -523,7 +551,7 @@ void tpcc::load(storage::database& db) {
                                10000.0);
         storage::write_f64(r, col::d_ytd, 30000.0);
         storage::write_u64(r, col::d_next_o_id, n0);
-        di.insert(district_key(w, d), r);
+        di.insert(district_key(w, d), r, part);
       }
       for (std::uint64_t c = 0; c < kCustomersPerDistrict; ++c) {
         auto r = row(cu.layout().row_size());
@@ -533,7 +561,7 @@ void tpcc::load(storage::database& db) {
         storage::write_f64(r, col::c_discount,
                            static_cast<double>(mix(c, 5) % 5000) / 10000.0);
         storage::write_u64(r, col::c_credit, mix(c, 6) % 10 == 0 ? 1 : 0);
-        cu.insert(customer_key(w, d, c), r);
+        cu.insert(customer_key(w, d, c), r, part);
       }
       // Initial order history: the first 70% are delivered (no NEW-ORDER
       // row, carrier set); the rest await Delivery transactions.
@@ -552,13 +580,13 @@ void tpcc::load(storage::database& db) {
                              delivered ? 1 + o % 10 : 0);
           storage::write_u64(r, col::o_ol_cnt, meta.ol_cnt);
           storage::write_u64(r, col::o_all_local, 1);
-          od.insert(order_key(w, d, o), r);
+          od.insert(order_key(w, d, o), r, part);
         }
         if (!delivered) {
           auto r = row(no.layout().row_size());
           std::fill(r.begin(), r.end(), std::byte{0});
           storage::write_u64(r, col::no_o_id, o);
-          no.insert(order_key(w, d, o), r);
+          no.insert(order_key(w, d, o), r, part);
         }
         for (std::uint64_t l = 0; l < meta.ol_cnt; ++l) {
           const std::uint64_t i = mix(o * 16 + l, d) % kItems;
@@ -570,7 +598,7 @@ void tpcc::load(storage::database& db) {
           storage::write_u64(r, col::ol_quantity, 5);
           storage::write_f64(r, col::ol_amount, 5.0 * item_price(i));
           storage::write_u64(r, col::ol_delivery_d, delivered ? 1 : 0);
-          ol.insert(order_line_key(w, d, o, l + 1), r);
+          ol.insert(order_line_key(w, d, o, l + 1), r, part);
         }
         ds.orders.push_back(meta);
       }
@@ -962,7 +990,8 @@ bool tpcc::check_consistency(const storage::database& db,
     if (district < max_o.size()) max_o[district] = std::max(max_o[district], o);
   });
   for (std::size_t district = 0; district < dstate_.size(); ++district) {
-    const auto rid = di.lookup(district);
+    const auto rid = di.lookup(
+        district, part_of_warehouse(district / kDistrictsPerWarehouse));
     if (rid == storage::kNoRow) continue;
     const std::uint64_t next =
         storage::read_u64(di.row(rid), col::d_next_o_id);

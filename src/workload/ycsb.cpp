@@ -72,8 +72,10 @@ ycsb::ycsb(ycsb_config cfg)
             static_cast<std::uint16_t>(cfg.ops_per_txn + 1)) {}
 
 void ycsb::load(storage::database& db) {
+  // One arena per partition; key k's home partition is k % partitions, so
+  // the even capacity split covers every shard's key share.
   auto& tab = db.create_table("usertable", make_schema(),
-                              cfg_.table_size + 16);
+                              cfg_.table_size + 16, cfg_.partitions);
   table_ = tab.id();
   std::vector<std::byte> row(tab.layout().row_size());
   for (std::uint64_t k = 0; k < cfg_.table_size; ++k) {
@@ -84,7 +86,7 @@ void ycsb::load(storage::database& db) {
     for (std::size_t fld = 1; fld < kFields; ++fld) {
       storage::write_u64(s, fld * 8, k * 1000 + fld);
     }
-    tab.insert(k, row);
+    tab.insert(k, row, static_cast<part_id_t>(k % cfg_.partitions));
   }
 }
 

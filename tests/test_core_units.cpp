@@ -349,7 +349,7 @@ TEST(Executor, EraseThenReadMisses) {
     txn::fragment f;
     f.table = 0;
     f.key = 7;
-    f.part = 0;
+    f.part = 3;  // ycsb home partition of key 7 (P=4)
     f.kind = txn::op_kind::erase;
     eraser->frags.push_back(f);
   }
@@ -360,7 +360,7 @@ TEST(Executor, EraseThenReadMisses) {
   core::quecc_engine eng(*db, engine_cfg(1, 1));
   common::run_metrics m;
   eng.run_batch(b, m);
-  EXPECT_EQ(db->at(0).lookup(7), storage::kNoRow);
+  EXPECT_EQ(db->at(0).lookup(7, 3), storage::kNoRow);
   EXPECT_EQ(db->at(0).live_rows(), 63u);
 }
 

@@ -291,6 +291,45 @@ TEST(Checkpoint, RestoreDrivesTableToExactSnapshotContents) {
   EXPECT_EQ(manifest->file, meta.file);
 }
 
+// Sharded storage (per-partition arenas): the v2 checkpoint records rows
+// per arena, so restore must put every row back into the arena it came
+// from — the database state hash cannot catch misrouting (it ignores
+// shard layout by design), but per-shard live counts do.
+TEST(Checkpoint, ShardedRestoreRebuildsEachArena) {
+  const storage::schema s({{"A", storage::col_type::u64, 8}});
+  storage::database src;
+  auto& t1 = src.create_table("t", s, 64, /*shards=*/4);
+  std::vector<std::byte> p(8);
+  for (key_t k = 0; k < 20; ++k) {
+    storage::write_u64(std::span<std::byte>(p), 0, k * 3 + 1);
+    t1.insert(k, p, static_cast<part_id_t>(k % 4));
+  }
+
+  temp_dir dir;
+  log::checkpointer ck(dir.path);
+  const auto meta = ck.take(src, 1, 1, 1);
+
+  // Target starts with different contents in the wrong arenas.
+  storage::database dst;
+  auto& t2 = dst.create_table("t", s, 64, 4);
+  for (key_t k = 30; k < 40; ++k) {
+    storage::write_u64(std::span<std::byte>(p), 0, 777);
+    t2.insert(k, p, static_cast<part_id_t>(k % 4));
+  }
+  log::restore_checkpoint(dir.path + "/" + meta.file, dst);
+  EXPECT_EQ(dst.state_hash(), src.state_hash());
+  for (part_id_t sh = 0; sh < 4; ++sh) {
+    EXPECT_EQ(t2.live_rows_in(sh), t1.live_rows_in(sh));
+  }
+
+  // A shard-count mismatch (partition config changed between the logging
+  // run and recovery) must fail loudly, not scatter rows across arenas.
+  storage::database wrong;
+  wrong.create_table("t", s, 64, /*shards=*/2);
+  EXPECT_THROW(log::restore_checkpoint(dir.path + "/" + meta.file, wrong),
+               std::runtime_error);
+}
+
 TEST(Checkpoint, CorruptFileFailsItsCrc) {
   const storage::schema s({{"A", storage::col_type::u64, 8}});
   storage::database src;
@@ -365,6 +404,68 @@ recovered recover_fresh(const std::string& dir) {
                 db.state_hash()};
   EXPECT_EQ(out.res.state_hash, out.hash);
   return out;
+}
+
+// Crash matrix, sharded edition: checkpoint a sharded (4-arena) database
+// mid-run, "kill", recover into a freshly loaded database, and require
+// per-partition allocation counts — not just the state hash — to equal
+// the uninterrupted run's: restore routes every row to its recorded
+// arena and replay re-executes the tail deterministically.
+TEST(Recovery, ShardedRunRecoversPerPartitionArenaCounts) {
+  temp_dir dir;
+  wl::ycsb w(small_ycsb());
+
+  // Uninterrupted reference run, keeping the database for shard counts.
+  storage::database ref;
+  w.load(ref);
+  {
+    core::quecc_engine eng(ref, small_engine_cfg());
+    common::rng r(kSeed);
+    common::run_metrics m;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      txn::batch b = w.make_batch(r, kBatchSize, i);
+      eng.run_batch(b, m);
+    }
+  }
+
+  // Durable run of the same stream with a mid-run checkpoint, then "kill".
+  {
+    wl::ycsb w2(small_ycsb());
+    storage::database db;
+    w2.load(db);
+    common::config cfg = small_engine_cfg();
+    cfg.durable = true;
+    cfg.log_dir = dir.path;
+    cfg.checkpoint_interval_batches = 3;
+    core::quecc_engine eng(db, cfg);
+    common::rng r(kSeed);
+    common::run_metrics m;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      txn::batch b = w2.make_batch(r, kBatchSize, i);
+      eng.run_batch(b, m);
+      eng.sync_durable();
+    }
+  }
+
+  // Recover into a fresh database; the restore path goes through the
+  // sharded checkpoint (batches 0..5) + replay (6, 7).
+  wl::ycsb w3(small_ycsb());
+  storage::database rec;
+  w3.load(rec);
+  core::quecc_engine eng(rec, small_engine_cfg());
+  const auto res = log::recover(dir.path, rec, eng, log::resolver_for(w3));
+  EXPECT_TRUE(res.checkpoint_loaded);
+  EXPECT_EQ(rec.state_hash(), ref.state_hash());
+
+  const auto& rt = rec.at(0);
+  const auto& ft = ref.at(0);
+  ASSERT_EQ(rt.shard_count(), ft.shard_count());
+  ASSERT_EQ(rt.shard_count(), 4u);
+  for (part_id_t s = 0; s < rt.shard_count(); ++s) {
+    EXPECT_EQ(rt.live_rows_in(s), ft.live_rows_in(s)) << "shard " << s;
+    EXPECT_EQ(rt.allocated_rows_in(s), ft.allocated_rows_in(s))
+        << "shard " << s;
+  }
 }
 
 TEST(Recovery, ReplaysExactlyTheCommittedPrefix) {

@@ -290,7 +290,7 @@ TEST(QueccEngine, ReadCommittedServesPreBatchValues) {
   txn::fragment wf;
   wf.table = 0;
   wf.key = 42;
-  wf.part = 0;
+  wf.part = 2;  // ycsb home partition of key 42 (P=4)
   wf.kind = txn::op_kind::update;
   wf.logic = wl::ycsb::op_rmw;
   wf.aux = 100;
@@ -300,7 +300,7 @@ TEST(QueccEngine, ReadCommittedServesPreBatchValues) {
   txn::fragment rf;
   rf.table = 0;
   rf.key = 42;
-  rf.part = 0;
+  rf.part = 2;
   rf.kind = txn::op_kind::read;
   rf.logic = wl::ycsb::op_read;
   rf.output_slot = 0;
@@ -347,7 +347,7 @@ TEST(QueccEngine, SerializableReaderSeesInBatchWrite) {
   txn::fragment wf;
   wf.table = 0;
   wf.key = 42;
-  wf.part = 0;
+  wf.part = 2;  // ycsb home partition of key 42 (P=4)
   wf.kind = txn::op_kind::update;
   wf.logic = wl::ycsb::op_rmw;
   wf.aux = 100;
@@ -356,7 +356,7 @@ TEST(QueccEngine, SerializableReaderSeesInBatchWrite) {
   txn::fragment rf;
   rf.table = 0;
   rf.key = 42;
-  rf.part = 0;
+  rf.part = 2;
   rf.kind = txn::op_kind::read;
   rf.logic = wl::ycsb::op_read;
   rf.output_slot = 0;

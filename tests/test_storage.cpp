@@ -1,7 +1,9 @@
 // Unit tests: storage substrate (schema, index, table, database, versions).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
+#include <vector>
 
 #include "storage/database.hpp"
 #include "storage/dual_version.hpp"
@@ -88,6 +90,38 @@ TEST(Table, DuplicateInsertReturnsNoRow) {
   EXPECT_EQ(t.insert(7, payload), kNoRow);
 }
 
+// Regression (storage-layer bugfix sweep): a duplicate-key insert used to
+// leak its allocated slot — allocated_rows() drifted from live_rows() and
+// a duplicate storm ate the loader's headroom until the table "filled up"
+// while almost empty. The slot must be recycled.
+TEST(Table, DuplicateInsertStormDoesNotLeakSlots) {
+  table t(0, "t", two_col_schema(), 4);
+  std::vector<std::byte> payload(20);
+  ASSERT_NE(t.insert(1, payload), kNoRow);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(t.insert(1, payload), kNoRow);  // way past capacity 4
+  }
+  EXPECT_EQ(t.allocated_rows(), t.live_rows());
+  // Headroom survived the storm: three more distinct keys still fit.
+  EXPECT_NE(t.insert(2, payload), kNoRow);
+  EXPECT_NE(t.insert(3, payload), kNoRow);
+  EXPECT_NE(t.insert(4, payload), kNoRow);
+  EXPECT_EQ(t.live_rows(), 4u);
+}
+
+// Regression (storage-layer bugfix sweep): an oversized payload used to be
+// silently truncated into the row (schema-mismatch corruption); it must
+// fail loudly instead. Short payloads stay legal (zero-padded).
+TEST(Table, OversizedPayloadThrows) {
+  table t(0, "t", two_col_schema(), 8);  // row size 20
+  std::vector<std::byte> too_wide(21);
+  EXPECT_THROW(t.insert(1, too_wide), std::invalid_argument);
+  EXPECT_EQ(t.live_rows(), 0u);
+  EXPECT_EQ(t.allocated_rows(), 0u);  // the slot was not leaked either
+  std::vector<std::byte> short_ok(8);
+  EXPECT_NE(t.insert(1, short_ok), kNoRow);
+}
+
 TEST(Table, CapacityExhaustionThrows) {
   table t(0, "t", two_col_schema(), 2);
   std::vector<std::byte> payload(20);
@@ -127,6 +161,167 @@ TEST(Table, EraseRemovesFromHashAndIndex) {
   EXPECT_EQ(a.lookup(10), kNoRow);
   EXPECT_NE(a.state_hash(), h_with);
   EXPECT_EQ(a.live_rows(), 0u);
+}
+
+// --- per-partition arenas --------------------------------------------------
+
+TEST(RidCodec, RoundTripsShardAndSlot) {
+  const row_id_t rid = make_rid(13, 0x123456789aull);
+  EXPECT_EQ(rid_shard(rid), 13u);
+  EXPECT_EQ(rid_slot(rid), 0x123456789aull);
+  EXPECT_EQ(rid_shard(make_rid(0, 0)), 0u);
+  EXPECT_EQ(rid_slot(make_rid(0, 0)), 0u);
+}
+
+TEST(Table, ShardedInsertRoutesToHomeArena) {
+  table t(0, "t", two_col_schema(), 64, /*shards=*/4);
+  ASSERT_EQ(t.shard_count(), 4u);
+  std::vector<std::byte> p(20);
+  for (key_t k = 0; k < 32; ++k) {
+    const auto part = static_cast<part_id_t>(k % 4);
+    const auto rid = t.insert(k, p, part);
+    ASSERT_NE(rid, kNoRow);
+    EXPECT_EQ(rid_shard(rid), part);  // row landed in its home arena
+  }
+  for (part_id_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(t.live_rows_in(s), 8u);
+    EXPECT_EQ(t.allocated_rows_in(s), 8u);
+  }
+  EXPECT_EQ(t.live_rows(), 32u);
+}
+
+TEST(Table, PartitionLocalLookupMatchesStripedLookup) {
+  table t(0, "t", two_col_schema(), 64, /*shards=*/4);
+  std::vector<std::byte> p(20);
+  for (key_t k = 0; k < 32; ++k) {
+    t.insert(k, p, static_cast<part_id_t>(k % 4));
+  }
+  for (key_t k = 0; k < 40; ++k) {
+    const auto part = static_cast<part_id_t>(k % 4);
+    EXPECT_EQ(t.lookup_local(k, part), t.lookup(k, part));
+  }
+}
+
+TEST(Table, StateHashIndependentOfShardCount) {
+  table one(0, "t", two_col_schema(), 64);
+  table four(0, "t", two_col_schema(), 64, 4);
+  std::vector<std::byte> p(20);
+  for (key_t k = 0; k < 32; ++k) {
+    write_u64(std::span<std::byte>(p), 0, k * 31);
+    one.insert(k, p);
+    four.insert(k, p, static_cast<part_id_t>(k % 4));
+  }
+  EXPECT_EQ(one.state_hash(), four.state_hash());
+  EXPECT_EQ(one.live_rows(), four.live_rows());
+}
+
+TEST(Table, ShardCapacityIsPerArena) {
+  table t(0, "t", two_col_schema(), 4, /*shards=*/2);  // 2 slots per arena
+  std::vector<std::byte> p(20);
+  EXPECT_NE(t.insert(0, p, 0), kNoRow);
+  EXPECT_NE(t.insert(2, p, 0), kNoRow);
+  // Shard 0 is full; its arena throws even though shard 1 is empty.
+  EXPECT_THROW(t.insert(4, p, 0), std::length_error);
+  EXPECT_NE(t.insert(1, p, 1), kNoRow);  // shard 1 unaffected
+}
+
+TEST(Table, EraseThenReinsertReclaimsTombstone) {
+  table t(0, "t", two_col_schema(), 8, 2);
+  std::vector<std::byte> p(20);
+  write_u64(std::span<std::byte>(p), 0, 1);
+  ASSERT_NE(t.insert(6, p, 0), kNoRow);
+  ASSERT_TRUE(t.erase(6, 0));
+  EXPECT_EQ(t.lookup(6, 0), kNoRow);
+  EXPECT_EQ(t.lookup_local(6, 0), kNoRow);
+  write_u64(std::span<std::byte>(p), 0, 2);
+  const auto rid = t.insert(6, p, 0);
+  ASSERT_NE(rid, kNoRow);
+  EXPECT_EQ(t.lookup_local(6, 0), rid);
+  EXPECT_EQ(read_u64(t.row(rid), 0), 2u);
+  EXPECT_EQ(t.live_rows_in(0), 1u);
+}
+
+TEST(Database, ClonePreservesShardLayout) {
+  database db;
+  auto& t = db.create_table("t", two_col_schema(), 64, 4);
+  std::vector<std::byte> p(20);
+  for (key_t k = 0; k < 32; ++k) {
+    write_u64(std::span<std::byte>(p), 0, k * 7);
+    t.insert(k, p, static_cast<part_id_t>(k % 4));
+  }
+  auto copy = db.clone();
+  EXPECT_EQ(copy->state_hash(), db.state_hash());
+  const auto& ct = copy->at(0);
+  ASSERT_EQ(ct.shard_count(), 4u);
+  for (part_id_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(ct.shard_capacity(s), t.shard_capacity(s));
+    EXPECT_EQ(ct.live_rows_in(s), t.live_rows_in(s));
+  }
+}
+
+TEST(DualVersion, ShardedSnapshotsAndPublishes) {
+  database db;
+  auto& t = db.create_table("t", two_col_schema(), 64, 4);
+  std::vector<std::byte> p(20);
+  write_u64(std::span<std::byte>(p), 0, 5);
+  const auto rid = t.insert(9, p, 1);  // shard 1
+  ASSERT_EQ(rid_shard(rid), 1u);
+
+  dual_version_store dv(db);
+  EXPECT_EQ(read_u64(dv.committed_row(0, rid), 0), 5u);
+  write_u64(t.row(rid), 0, 42);
+  EXPECT_EQ(read_u64(dv.committed_row(0, rid), 0), 5u);  // still old
+  dv.publish(db, 0, rid);
+  EXPECT_EQ(read_u64(dv.committed_row(0, rid), 0), 42u);
+}
+
+// --- lock-free reader / atomic size guarantees (TSAN-exercised) ------------
+
+// Regression (storage-layer bugfix sweep): size() used to walk every
+// bucket unsynchronized while writers held only their own stripe — a data
+// race and a torn count. It now reads a single atomic counter; this test
+// hammers it (and the lock-free lookup path) against concurrent writers
+// and runs under the ThreadSanitizer CI job.
+TEST(HashIndex, SizeAndLockFreeLookupSafeUnderConcurrentWriters) {
+  hash_index idx(1 << 12);
+  constexpr int kWriters = 4;
+  constexpr key_t kPerWriter = 2000;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> reads{0};
+
+  std::thread reader([&] {
+    key_t k = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const std::size_t s = idx.size();
+      ASSERT_LE(s, static_cast<std::size_t>(kWriters) * kPerWriter);
+      const row_id_t r = idx.lookup_unlocked(k);
+      if (r != kNoRow) {
+        // A published entry is complete: the row is the one its key got.
+        ASSERT_EQ(r, k * 10);
+      }
+      k = (k + 7) % (kWriters * kPerWriter);
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&idx, w] {
+      for (key_t i = 0; i < kPerWriter; ++i) {
+        const key_t k = i * kWriters + w;
+        idx.insert(k, k * 10);
+        if (i % 3 == 0) idx.erase(k);  // tombstone churn
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_GT(reads.load(), 0u);
+
+  // Exact at the quiescent point: every 3rd key per writer was erased.
+  std::size_t expect = 0;
+  for (key_t i = 0; i < kPerWriter; ++i) expect += (i % 3 == 0) ? 0 : 1;
+  EXPECT_EQ(idx.size(), expect * kWriters);
 }
 
 TEST(Database, CatalogResolution) {
