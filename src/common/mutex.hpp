@@ -1,0 +1,74 @@
+// Annotated mutex + RAII lock for Clang Thread Safety Analysis.
+//
+// libstdc++'s std::mutex carries no capability attributes, so the analysis
+// cannot see acquisitions made through it or through std::unique_lock.
+// `common::mutex` is a zero-cost wrapper that is a real CAPABILITY, and
+// `common::mutex_lock` the SCOPED_CAPABILITY guard; every GUARDED_BY
+// member in the codebase hangs off one of these (or common::spinlock).
+//
+// Condition variables: use `common::cond_var` (std::condition_variable_any)
+// with a mutex_lock directly — the guard is relockable (unlock()/lock()),
+// which is exactly what a cv wait needs, and the analysis tracks the
+// capability across the wait. Write waits as explicit loops,
+//
+//     common::mutex_lock lk(mu_);
+//     while (!ready_) cv_.wait(lk);
+//
+// not with the predicate-lambda overloads: a lambda body is analyzed as a
+// separate function that cannot see the caller's held capabilities, so a
+// predicate touching GUARDED_BY members would be (falsely) flagged.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace quecc::common {
+
+/// std::mutex as a Clang TSA capability. Satisfies Lockable.
+class CAPABILITY("mutex") mutex {
+ public:
+  mutex() = default;
+  mutex(const mutex&) = delete;
+  mutex& operator=(const mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Condition variable usable with common::mutex_lock (BasicLockable).
+using cond_var = std::condition_variable_any;
+
+/// RAII guard over common::mutex; relockable so condition-variable waits
+/// and unlock-work-relock windows (e.g. the WAL flusher's fsync) stay
+/// visible to the analysis.
+class SCOPED_CAPABILITY mutex_lock {
+ public:
+  explicit mutex_lock(mutex& m) ACQUIRE(m) : mu_(m) { mu_.lock(); }
+  ~mutex_lock() RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  mutex_lock(const mutex_lock&) = delete;
+  mutex_lock& operator=(const mutex_lock&) = delete;
+
+  void unlock() RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+  void lock() ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  mutex& mu_;
+  bool held_ = true;
+};
+
+}  // namespace quecc::common

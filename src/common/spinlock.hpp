@@ -9,6 +9,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/thread_annotations.hpp"
+
 #if defined(__x86_64__)
 #include <immintrin.h>
 #endif
@@ -47,27 +49,49 @@ class backoff {
 };
 
 /// Test-and-test-and-set spinlock with backoff. Satisfies the C++ Lockable
-/// requirements so it composes with std::scoped_lock (CP.20: RAII, never
-/// plain lock()/unlock()).
-class spinlock {
+/// requirements and is a Clang TSA capability: guard members with
+/// GUARDED_BY(the_lock) and hold it through `spin_guard` (CP.20: RAII,
+/// never plain lock()/unlock()) so the analysis tracks the acquisition —
+/// std::scoped_lock carries no annotations and hides it.
+class CAPABILITY("spinlock") spinlock {
  public:
-  void lock() noexcept {
+  void lock() noexcept ACQUIRE() {
     backoff b;
     while (true) {
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      // relaxed: pure spin on the TTAS read path; the winning exchange
+      // above is the acquire that orders the critical section.
       while (flag_.load(std::memory_order_relaxed)) b.spin();
     }
   }
 
-  bool try_lock() noexcept {
+  bool try_lock() noexcept TRY_ACQUIRE(true) {
+    // relaxed: optimistic peek only; acquisition itself is the exchange.
     return !flag_.load(std::memory_order_relaxed) &&
            !flag_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+  void unlock() noexcept RELEASE() {
+    flag_.store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> flag_{false};
+};
+
+/// RAII spinlock holder (the annotated replacement for std::scoped_lock
+/// over a spinlock). Scope = critical section; TSA releases the capability
+/// at the destructor.
+class SCOPED_CAPABILITY spin_guard {
+ public:
+  explicit spin_guard(spinlock& l) noexcept ACQUIRE(l) : l_(l) { l_.lock(); }
+  ~spin_guard() RELEASE() { l_.unlock(); }
+
+  spin_guard(const spin_guard&) = delete;
+  spin_guard& operator=(const spin_guard&) = delete;
+
+ private:
+  spinlock& l_;
 };
 
 }  // namespace quecc::common

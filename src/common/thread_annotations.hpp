@@ -1,0 +1,67 @@
+// Clang Thread Safety Analysis annotations (no-ops on other compilers).
+//
+// These macros turn the pipeline's locking discipline — which mutex guards
+// which member, which functions must (or must not) hold which capability —
+// into contracts the compiler checks on every build: the `quecc` library
+// compiles with `-Wthread-safety -Werror=thread-safety` under Clang (see
+// CMakeLists.txt), and tests/compile_fail/ asserts that violating an
+// annotation really is a compile error. GCC builds see empty macros and
+// identical code.
+//
+// Usage map (see the README "Concurrency invariants" section):
+//   CAPABILITY("mutex")   on a lockable type (common::mutex, spinlock)
+//   SCOPED_CAPABILITY     on RAII guards (mutex_lock, spin_guard)
+//   GUARDED_BY(mu)        on data members only accessed with `mu` held
+//   PT_GUARDED_BY(mu)     on pointers whose *pointee* needs `mu`
+//   REQUIRES(mu)          caller must hold `mu` (private _locked helpers)
+//   ACQUIRE/RELEASE(mu)   function acquires/releases `mu` itself
+//   TRY_ACQUIRE(ok, mu)   try_lock-shaped acquisition
+//   EXCLUDES(mu)          caller must NOT hold `mu` (self-deadlock guard)
+//   NO_THREAD_SAFETY_ANALYSIS  last resort; prefer EXCLUDES or a
+//                              release/acquire proof comment instead
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define QUECC_TSA_HAS(x) __has_attribute(x)
+#else
+#define QUECC_TSA_HAS(x) 0
+#endif
+
+#if QUECC_TSA_HAS(capability)
+#define QUECC_TSA(x) __attribute__((x))
+#else
+#define QUECC_TSA(x)  // no-op off Clang
+#endif
+
+#define CAPABILITY(x) QUECC_TSA(capability(x))
+#define SCOPED_CAPABILITY QUECC_TSA(scoped_lockable)
+
+#define GUARDED_BY(x) QUECC_TSA(guarded_by(x))
+#define PT_GUARDED_BY(x) QUECC_TSA(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) QUECC_TSA(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) QUECC_TSA(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) QUECC_TSA(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) QUECC_TSA(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) QUECC_TSA(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) QUECC_TSA(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) QUECC_TSA(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) QUECC_TSA(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) QUECC_TSA(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) QUECC_TSA(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  QUECC_TSA(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) QUECC_TSA(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) QUECC_TSA(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) QUECC_TSA(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) QUECC_TSA(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS QUECC_TSA(no_thread_safety_analysis)

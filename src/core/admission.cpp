@@ -18,8 +18,8 @@ bool admission_queue::has_room(const admitted_txn& t) const {
 
 bool admission_queue::submit(admitted_txn t) {
   if (t.submit_nanos == 0) t.submit_nanos = common::now_nanos();
-  std::unique_lock lk(mu_);
-  not_full_.wait(lk, [&] { return has_room(t) || closed_; });
+  common::mutex_lock lk(mu_);
+  while (!has_room(t) && !closed_) not_full_.wait(lk);
   if (closed_) return false;
   if (session_cap_ != 0) ++per_session_[t.client];
   q_.push_back(std::move(t));
@@ -31,7 +31,7 @@ bool admission_queue::submit(admitted_txn t) {
 
 bool admission_queue::try_submit(admitted_txn& t) {
   {
-    std::lock_guard lk(mu_);
+    common::mutex_lock lk(mu_);
     if (closed_ || !has_room(t)) return false;
     if (t.submit_nanos == 0) t.submit_nanos = common::now_nanos();
     if (session_cap_ != 0) ++per_session_[t.client];
@@ -48,8 +48,8 @@ std::vector<admitted_txn> admission_queue::pop_batch(
   if (max == 0) return out;
   out.reserve(max);
 
-  std::unique_lock lk(mu_);
-  not_empty_.wait(lk, [&] { return !q_.empty() || closed_; });
+  common::mutex_lock lk(mu_);
+  while (q_.empty() && !closed_) not_empty_.wait(lk);
   if (q_.empty()) return out;  // closed and drained
 
   // The deadline is anchored at the moment the batch's first transaction
@@ -74,19 +74,22 @@ std::vector<admitted_txn> admission_queue::pop_batch(
     // now, not a whole deadline later.
     if (drained) not_full_.notify_all();
     if (out.size() >= max || closed_) break;
-    if (not_empty_.wait_until(lk, deadline, [&] {
-          return !q_.empty() || closed_;
-        })) {
-      continue;  // new arrivals (or close): collect them
+    bool have = false;
+    while (!(have = !q_.empty() || closed_)) {
+      if (not_empty_.wait_until(lk, deadline) == std::cv_status::timeout) {
+        have = !q_.empty() || closed_;  // final check, like the std overload
+        break;
+      }
     }
-    break;  // deadline fired: close the partial batch
+    if (have) continue;  // new arrivals (or close): collect them
+    break;               // deadline fired: close the partial batch
   }
   return out;
 }
 
 void admission_queue::close() {
   {
-    std::lock_guard lk(mu_);
+    common::mutex_lock lk(mu_);
     closed_ = true;
   }
   not_full_.notify_all();
@@ -94,23 +97,23 @@ void admission_queue::close() {
 }
 
 bool admission_queue::closed() const {
-  std::lock_guard lk(mu_);
+  common::mutex_lock lk(mu_);
   return closed_;
 }
 
 std::size_t admission_queue::depth() const {
-  std::lock_guard lk(mu_);
+  common::mutex_lock lk(mu_);
   return q_.size();
 }
 
 std::uint32_t admission_queue::in_queue(std::uint32_t client) const {
-  std::lock_guard lk(mu_);
+  common::mutex_lock lk(mu_);
   const auto it = per_session_.find(client);
   return it == per_session_.end() ? 0 : it->second;
 }
 
 std::uint64_t admission_queue::admitted() const {
-  std::lock_guard lk(mu_);
+  common::mutex_lock lk(mu_);
   return admitted_;
 }
 
@@ -120,6 +123,7 @@ batch_former::formed batch_former::next() {
   if (entries.empty()) return f;  // queue closed and drained
 
   f.valid = true;
+  // relaxed: single consumer allocates ids; nothing is published through it.
   f.batch.set_id(next_id_.fetch_add(1, std::memory_order_relaxed));
   f.tickets.reserve(entries.size());
   f.submit_nanos.reserve(entries.size());

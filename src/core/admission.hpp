@@ -14,15 +14,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/stats.hpp"
 #include "txn/batch.hpp"
 
@@ -30,6 +30,11 @@ namespace quecc::core {
 
 /// Completion record shared between a client and the batch pump. The pump
 /// fills it when the transaction's batch commits; clients block in wait().
+///
+/// Lock-free by design (one producer, the pump; readers gated on `done`):
+/// the plain fields are written before the release store of `done`, and
+/// clients acquire-load `done` before reading them — a classic
+/// publish/subscribe edge, so no GUARDED_BY applies.
 struct ticket_state {
   std::atomic<std::uint32_t> done{0};
   txn::txn_status status = txn::txn_status::active;
@@ -116,17 +121,18 @@ class admission_queue {
   std::uint64_t admitted() const;
 
  private:
-  bool has_room(const admitted_txn& t) const;  // callers hold mu_
+  bool has_room(const admitted_txn& t) const REQUIRES(mu_);
 
   const std::size_t capacity_;
   const std::uint32_t session_cap_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;   // producers wait here
-  std::condition_variable not_empty_;  // the former waits here
-  std::deque<admitted_txn> q_;
-  std::unordered_map<std::uint32_t, std::uint32_t> per_session_;
-  std::uint64_t admitted_ = 0;
-  bool closed_ = false;
+  mutable common::mutex mu_;
+  common::cond_var not_full_;   // producers wait here
+  common::cond_var not_empty_;  // the former waits here
+  std::deque<admitted_txn> q_ GUARDED_BY(mu_);
+  std::unordered_map<std::uint32_t, std::uint32_t> per_session_
+      GUARDED_BY(mu_);
+  std::uint64_t admitted_ GUARDED_BY(mu_) = 0;
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 /// Drains an admission queue into sequenced, validated batches. Single
@@ -158,6 +164,7 @@ class batch_former {
 
   /// Safe to read from any thread (e.g. while the pump is running).
   std::uint32_t batches_formed() const noexcept {
+    // relaxed: monotonic stat counter, no ordering with batch contents.
     return next_id_.load(std::memory_order_relaxed);
   }
 

@@ -98,7 +98,7 @@ quecc_engine::~quecc_engine() {
   while (drain_batch()) {
   }
   {
-    std::lock_guard lk(mu_);
+    common::mutex_lock lk(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -110,8 +110,8 @@ void quecc_engine::planner_main(worker_id_t p) {
   if (cfg_.pin_threads) common::pin_self_to(p);
   for (std::uint64_t n = 0;; ++n) {
     {
-      std::unique_lock lk(mu_);
-      cv_.wait(lk, [&] { return submitted_ > n || stop_; });
+      common::mutex_lock lk(mu_);
+      while (!(submitted_ > n || stop_)) cv_.wait(lk);
       if (stop_ && submitted_ <= n) return;
     }
     // Planners need no start barrier: each writes only its own plan_outs
@@ -120,10 +120,12 @@ void quecc_engine::planner_main(worker_id_t p) {
     batch_slot& s = *pipe_.slots[n % cfg_.pipeline_depth];
     const std::uint64_t t0 = common::now_nanos();
     pipe_.planners[p].plan(*s.batch, s.plan_outs[p]);
+    // relaxed: stat counter; read at the drain quiescent point, ordered by
+    // the plan_pending acq_rel countdown below.
     s.plan_busy_nanos.fetch_add(common::now_nanos() - t0,
                                 std::memory_order_relaxed);
     if (s.plan_pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard lk(mu_);
+      common::mutex_lock lk(mu_);
       s.ready_nanos = common::now_nanos();
       ready_ = n + 1;  // planners retire batches in order (see above)
       cv_.notify_all();
@@ -140,12 +142,12 @@ void quecc_engine::executor_main(worker_id_t e) {
   for (std::uint64_t n = 0;; ++n) {
     batch_slot* sp;
     {
-      std::unique_lock lk(mu_);
+      common::mutex_lock lk(mu_);
       // Execution stays sequential across slots: batch n runs only after
       // batch n-1's epilogue (drained_ == n) — the per-slot inter-batch
       // quiescent point that read-committed publishing, speculation
       // recovery, and checkpoints rely on.
-      cv_.wait(lk, [&] { return (ready_ > n && drained_ == n) || stop_; });
+      while (!((ready_ > n && drained_ == n) || stop_)) cv_.wait(lk);
       if (stop_ && !(ready_ > n && drained_ == n)) return;
       sp = pipe_.slots[n % cfg_.pipeline_depth].get();
       if (sp->exec_start_nanos == 0) {
@@ -165,10 +167,12 @@ void quecc_engine::executor_main(worker_id_t e) {
     if (!s.read_queues.empty()) {
       ex.run_read_queues(s.read_queues, s.read_cursor);
     }
+    // relaxed: stat counter; read at the drain quiescent point, ordered by
+    // the exec_pending acq_rel countdown below.
     s.exec_busy_nanos.fetch_add(common::now_nanos() - t0,
                                 std::memory_order_relaxed);
     if (s.exec_pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard lk(mu_);
+      common::mutex_lock lk(mu_);
       s.exec_end_nanos = common::now_nanos();
       exec_done_ = n + 1;
       cv_.notify_all();
@@ -181,18 +185,20 @@ void quecc_engine::submit_batch(txn::batch& b, common::run_metrics& m) {
   // behalf (same thread — equivalent to the caller invoking drain_batch).
   while (true) {
     {
-      std::lock_guard lk(mu_);
+      common::mutex_lock lk(mu_);
       if (submitted_ - drained_ < cfg_.pipeline_depth) break;
     }
     drain_batch();
   }
   {
-    std::lock_guard lk(mu_);
+    common::mutex_lock lk(mu_);
     batch_slot& s = *pipe_.slots[submitted_ % cfg_.pipeline_depth];
     s.batch = &b;
     s.metrics = &m;
     s.submit_nanos = common::now_nanos();
     s.ready_nanos = s.exec_start_nanos = s.exec_end_nanos = 0;
+    // relaxed: slot resets are published to the workers by ++submitted_
+    // under mu_ below, not by these stores themselves.
     s.read_cursor.store(0, std::memory_order_relaxed);
     s.plan_busy_nanos.store(0, std::memory_order_relaxed);
     s.exec_busy_nanos.store(0, std::memory_order_relaxed);
@@ -212,10 +218,10 @@ bool quecc_engine::drain_batch() {
   std::uint64_t n;
   batch_slot* sp;
   {
-    std::unique_lock lk(mu_);
+    common::mutex_lock lk(mu_);
     if (drained_ == submitted_) return false;  // nothing in flight
     n = drained_;
-    cv_.wait(lk, [&] { return exec_done_ > n; });
+    while (exec_done_ <= n) cv_.wait(lk);
     sp = pipe_.slots[n % cfg_.pipeline_depth].get();
   }
   batch_slot& s = *sp;
@@ -243,6 +249,8 @@ bool quecc_engine::drain_batch() {
   ph.exec_seconds =
       static_cast<double>(s.exec_end_nanos - s.exec_start_nanos) / 1e9;
   ph.epilogue_seconds = static_cast<double>(epi1 - epi0) / 1e9;
+  // relaxed: quiescent point — every worker's countdown (acq_rel) landed
+  // before exec_done_/ready_ advanced under mu_.
   ph.plan_busy_seconds =
       static_cast<double>(s.plan_busy_nanos.load(std::memory_order_relaxed)) /
       1e9;
@@ -281,7 +289,7 @@ bool quecc_engine::drain_batch() {
   last_drain_nanos_ = drain_nanos;
 
   {
-    std::lock_guard lk(mu_);
+    common::mutex_lock lk(mu_);
     s.batch = nullptr;
     s.metrics = nullptr;
     drained_ = n + 1;  // frees the slot, releases executors into batch n+1
@@ -390,7 +398,7 @@ void quecc_engine::log_commit_record(const txn::batch& b) {
     // batch contents.
     std::uint64_t first_inflight, end_inflight;
     {
-      std::lock_guard lk(mu_);
+      common::mutex_lock lk(mu_);
       first_inflight = drained_ + 1;  // drained_ == the batch draining now
       end_inflight = submitted_;
     }

@@ -28,15 +28,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/executor.hpp"
 #include "core/planner.hpp"
 #include "core/spec_manager.hpp"
@@ -185,14 +185,17 @@ class quecc_engine final : public proto::engine {
   // Monotonic batch counters: a batch's slot is counter % pipeline_depth.
   // Planners advance on submitted_, executors on ready_ (gated by drained_
   // so execution stays sequential across slots), the drain path on
-  // exec_done_. All guarded by mu_; cv_ carries every hand-off.
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::uint64_t submitted_ = 0;  ///< batches handed to the plan stage
-  std::uint64_t ready_ = 0;      ///< batches fully planned
-  std::uint64_t exec_done_ = 0;  ///< batches fully executed
-  std::uint64_t drained_ = 0;    ///< batches retired (epilogue complete)
-  bool stop_ = false;
+  // exec_done_. All guarded by mu_; cv_ carries every hand-off. The
+  // batch_slot fields themselves are published *through* these counters
+  // (written before the counter advance under mu_, read after observing
+  // it), which is why they carry no GUARDED_BY of their own.
+  common::mutex mu_;
+  common::cond_var cv_;
+  std::uint64_t submitted_ GUARDED_BY(mu_) = 0;  ///< handed to plan stage
+  std::uint64_t ready_ GUARDED_BY(mu_) = 0;      ///< batches fully planned
+  std::uint64_t exec_done_ GUARDED_BY(mu_) = 0;  ///< batches fully executed
+  std::uint64_t drained_ GUARDED_BY(mu_) = 0;    ///< retired (epilogue done)
+  bool stop_ GUARDED_BY(mu_) = false;
 
   // Drain-thread-only state (single-caller API, like run_batch).
   std::uint64_t last_drain_nanos_ = 0;

@@ -20,6 +20,8 @@ void executor::run_read_queues(std::span<const frag_queue* const> queues,
                                std::atomic<std::size_t>& cursor) {
   reading_committed_ = true;
   while (true) {
+    // relaxed: work-claiming cursor; queue contents were published by the
+    // plan->exec stage hand-off, claiming needs atomicity only.
     const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
     if (i >= queues.size()) break;
     for (const frag_entry& e : *queues[i]) process(e);

@@ -1,7 +1,6 @@
 #include "dist/dist_calvin.hpp"
 
 #include <chrono>
-#include <mutex>
 #include <tuple>
 
 #include "common/thread_util.hpp"
@@ -59,7 +58,7 @@ void dist_calvin_engine::ensure_pool() {
 
 void dist_calvin_engine::push_ready(net::node_id_t node, seq_t s) {
   node_ready& r = ready_[node];
-  std::scoped_lock guard(r.latch);
+  common::spin_guard guard(r.latch);
   r.q.push_back(s);  // capacity reserved per batch: no reallocation
   r.count.fetch_add(1, std::memory_order_release);
 }
@@ -68,6 +67,8 @@ bool dist_calvin_engine::pop_ready(net::node_id_t node, seq_t& s) {
   node_ready& r = ready_[node];
   common::backoff bo;
   while (true) {
+    // relaxed: head is only advanced by the CAS below (acq_rel); the
+    // acquire load of count is what pairs with the producer's release.
     const std::size_t h = r.head.load(std::memory_order_relaxed);
     const std::size_t c = r.count.load(std::memory_order_acquire);
     if (h < c) {
@@ -120,7 +121,12 @@ void dist_calvin_engine::run_batch(txn::batch& b, common::run_metrics& m) {
   sequence(b);
 
   for (auto& nl : locks_) {
-    for (auto& s : nl.stripes) s.locks.clear();
+    // Workers are quiescent between batches, but clear under the latch
+    // anyway: the guarded-access contract stays unconditional.
+    for (auto& s : nl.stripes) {
+      common::spin_guard guard(s.latch);
+      s.locks.clear();
+    }
   }
   for (auto& wm : worker_metrics_) wm = common::run_metrics{};
 
@@ -132,6 +138,7 @@ void dist_calvin_engine::run_batch(txn::batch& b, common::run_metrics& m) {
     pending_locks_ = std::vector<std::atomic<std::uint32_t>>(b.size());
     reads_arrived_ = std::vector<std::atomic<std::uint32_t>>(b.size());
   }
+  // relaxed: pre-pass runs before begin_round() releases the workers.
   for (std::size_t i = 0; i < b.size(); ++i) {
     reads_arrived_[i].store(0, std::memory_order_relaxed);
   }
@@ -151,12 +158,14 @@ void dist_calvin_engine::run_batch(txn::batch& b, common::run_metrics& m) {
     home_[i] = t.frags.empty() ? net::node_id_t{0}
                                : pl_.node_of_part(t.frags.front().part);
     lock_set(t, lock_sets_[i]);
+    // relaxed: pre-pass, before workers start (see above).
     pending_locks_[i].store(static_cast<std::uint32_t>(lock_sets_[i].size()),
                             std::memory_order_relaxed);
   }
   for (auto& r : ready_) {
     r.q.clear();
     r.q.reserve(b.size());
+    // relaxed: pre-pass, before workers start (see above).
     r.head.store(0, std::memory_order_relaxed);
     r.count.store(0, std::memory_order_relaxed);
   }
@@ -185,7 +194,7 @@ void dist_calvin_engine::schedule(txn::batch& b) {
       stripe& st = stripe_of(node, rec);
       bool granted = false;
       {
-        std::scoped_lock guard(st.latch);
+        common::spin_guard guard(st.latch);
         lock_entry& e = st.locks[rec];
         if (e.waiters.empty() &&
             (e.holders == 0 || (!exclusive && !e.held_exclusive))) {
@@ -211,7 +220,7 @@ void dist_calvin_engine::release_locks(seq_t seq) {
     stripe& st = stripe_of(node, rec);
     std::vector<seq_t> granted;
     {
-      std::scoped_lock guard(st.latch);
+      common::spin_guard guard(st.latch);
       lock_entry& e = st.locks[rec];
       e.holders -= 1;
       if (e.holders == 0) e.held_exclusive = false;
@@ -255,7 +264,7 @@ void dist_calvin_engine::collect_remote_reads(net::node_id_t home,
     net::message msg;
     bool got = false;
     {
-      std::scoped_lock guard(mailbox_[home].latch);
+      common::spin_guard guard(mailbox_[home].latch);
       got = net_.poll(home, msg);
     }
     if (got) {

@@ -31,6 +31,7 @@
 
 #include "common/batch_pool.hpp"
 #include "common/spinlock.hpp"
+#include "common/thread_annotations.hpp"
 #include "dist/partitioner.hpp"
 #include "net/network.hpp"
 #include "protocols/iface.hpp"
@@ -60,7 +61,7 @@ class dist_calvin_engine final : public proto::engine {
   };
   struct stripe {
     common::spinlock latch;
-    std::unordered_map<std::uint64_t, lock_entry> locks;
+    std::unordered_map<std::uint64_t, lock_entry> locks GUARDED_BY(latch);
   };
   static constexpr std::size_t kStripesPerNode = 16;
   /// One lock table (kStripesPerNode stripes) per node.
@@ -68,8 +69,14 @@ class dist_calvin_engine final : public proto::engine {
     std::array<stripe, kStripesPerNode> stripes;
   };
   /// Per-node ready queue: txns homed at the node whose locks are granted.
+  ///
+  /// Hybrid protocol, deliberately not GUARDED_BY: producers push under the
+  /// latch and release-publish via count; consumers pop latch-free — they
+  /// acquire-load count, CAS head forward, and read q[h], which the
+  /// publishing release made visible. q never reallocates mid-batch
+  /// (capacity reserved up front), so the unlatched read is stable.
   struct node_ready {
-    common::spinlock latch;
+    common::spinlock latch;  ///< serializes producers only
     std::vector<seq_t> q;
     std::atomic<std::size_t> head{0};
     std::atomic<std::size_t> count{0};

@@ -52,7 +52,7 @@ dist_quecc_engine::~dist_quecc_engine() {
   while (drain_batch()) {
   }
   {
-    std::lock_guard lk(mu_);
+    common::mutex_lock lk(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -65,13 +65,14 @@ void dist_quecc_engine::planner_main(worker_id_t p) {
   if (cfg_.pin_threads) common::pin_self_to(p);
   for (std::uint64_t n = 0;; ++n) {
     {
-      std::unique_lock lk(mu_);
-      cv_.wait(lk, [&] { return submitted_ > n || stop_; });
+      common::mutex_lock lk(mu_);
+      while (!(submitted_ > n || stop_)) cv_.wait(lk);
       if (stop_ && submitted_ <= n) return;
     }
     core::batch_slot& s = *pipe_.slots[n % cfg_.pipeline_depth];
     const std::uint64_t t0 = common::now_nanos();
     pipe_.planners[p].plan(*s.batch, s.plan_outs[p]);
+    // relaxed: stat counter, read at the drain quiescent point.
     s.plan_busy_nanos.fetch_add(common::now_nanos() - t0,
                                 std::memory_order_relaxed);
     if (s.plan_pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -80,10 +81,10 @@ void dist_quecc_engine::planner_main(worker_id_t p) {
       // never start ahead of their inputs. Overlaps the previous batch's
       // execution — the epilogue no longer serializes planning.
       if (pl_.nodes > 1) {
-        std::lock_guard nl(net_mu_);
+        common::mutex_lock nl(net_mu_);
         ship_plan_bundles(s.batch->id());
       }
-      std::lock_guard lk(mu_);
+      common::mutex_lock lk(mu_);
       s.ready_nanos = common::now_nanos();
       ready_ = n + 1;
       cv_.notify_all();
@@ -99,8 +100,8 @@ void dist_quecc_engine::executor_main(worker_id_t e) {
   for (std::uint64_t n = 0;; ++n) {
     core::batch_slot* sp;
     {
-      std::unique_lock lk(mu_);
-      cv_.wait(lk, [&] { return (ready_ > n && drained_ == n) || stop_; });
+      common::mutex_lock lk(mu_);
+      while (!((ready_ > n && drained_ == n) || stop_)) cv_.wait(lk);
       if (stop_ && !(ready_ > n && drained_ == n)) return;
       sp = pipe_.slots[n % cfg_.pipeline_depth].get();
       if (sp->exec_start_nanos == 0) {
@@ -117,10 +118,11 @@ void dist_quecc_engine::executor_main(worker_id_t e) {
     if (!s.read_queues.empty()) {
       ex.run_read_queues(s.read_queues, s.read_cursor);
     }
+    // relaxed: stat counter, read at the drain quiescent point.
     s.exec_busy_nanos.fetch_add(common::now_nanos() - t0,
                                 std::memory_order_relaxed);
     if (s.exec_pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard lk(mu_);
+      common::mutex_lock lk(mu_);
       s.exec_end_nanos = common::now_nanos();
       exec_done_ = n + 1;
       cv_.notify_all();
@@ -179,17 +181,18 @@ void dist_quecc_engine::commit_round(std::uint32_t batch_id) {
 void dist_quecc_engine::submit_batch(txn::batch& b, common::run_metrics& m) {
   while (true) {
     {
-      std::lock_guard lk(mu_);
+      common::mutex_lock lk(mu_);
       if (submitted_ - drained_ < cfg_.pipeline_depth) break;
     }
     drain_batch();
   }
-  std::lock_guard lk(mu_);
+  common::mutex_lock lk(mu_);
   core::batch_slot& s = *pipe_.slots[submitted_ % cfg_.pipeline_depth];
   s.batch = &b;
   s.metrics = &m;
   s.submit_nanos = common::now_nanos();
   s.ready_nanos = s.exec_start_nanos = s.exec_end_nanos = 0;
+  // relaxed: slot resets are published by ++submitted_ under mu_ below.
   s.read_cursor.store(0, std::memory_order_relaxed);
   s.plan_busy_nanos.store(0, std::memory_order_relaxed);
   s.exec_busy_nanos.store(0, std::memory_order_relaxed);
@@ -203,10 +206,10 @@ bool dist_quecc_engine::drain_batch() {
   std::uint64_t n;
   core::batch_slot* sp;
   {
-    std::unique_lock lk(mu_);
+    common::mutex_lock lk(mu_);
     if (drained_ == submitted_) return false;
     n = drained_;
-    cv_.wait(lk, [&] { return exec_done_ > n; });
+    while (exec_done_ <= n) cv_.wait(lk);
     sp = pipe_.slots[n % cfg_.pipeline_depth].get();
   }
   core::batch_slot& s = *sp;
@@ -214,7 +217,7 @@ bool dist_quecc_engine::drain_batch() {
   common::run_metrics& m = *s.metrics;
 
   if (pl_.nodes > 1) {
-    std::lock_guard nl(net_mu_);
+    common::mutex_lock nl(net_mu_);
     done_round(b.id());
   }
   // The nodes share one deterministic view of the batch, so the commit
@@ -224,11 +227,12 @@ bool dist_quecc_engine::drain_batch() {
   core::batch_epilogue(db_, cfg_, b, pipe_.executors, spec_,
                        committed_.get(), m);
   if (pl_.nodes > 1) {
-    std::lock_guard nl(net_mu_);
+    common::mutex_lock nl(net_mu_);
     commit_round(b.id());
   }
 
   m.batches += 1;
+  // relaxed: quiescent point — workers finished under mu_ (see engine.cpp).
   m.plan_busy_seconds +=
       static_cast<double>(s.plan_busy_nanos.load(std::memory_order_relaxed)) /
       1e9;
@@ -248,7 +252,7 @@ bool dist_quecc_engine::drain_batch() {
   last_drain_nanos_ = drain_nanos;
 
   {
-    std::lock_guard lk(mu_);
+    common::mutex_lock lk(mu_);
     s.batch = nullptr;
     s.metrics = nullptr;
     drained_ = n + 1;

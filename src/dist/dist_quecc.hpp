@@ -30,13 +30,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/engine.hpp"
 #include "core/executor.hpp"
 #include "core/planner.hpp"
@@ -74,15 +74,14 @@ class dist_quecc_engine final : public proto::engine {
 
   /// Ship every planner's remote queue bundles and block until each node
   /// received all bundles addressed to it (one one-way latency, since the
-  /// sends overlap). Runs on the last planner to finish a slot, under
-  /// net_mu_.
-  void ship_plan_bundles(std::uint32_t batch_id);
+  /// sends overlap). Runs on the last planner to finish a slot.
+  void ship_plan_bundles(std::uint32_t batch_id) REQUIRES(net_mu_);
 
   /// Participants report batch_done to the coordinator; after the global
   /// deterministic epilogue the coordinator broadcasts batch_commit. Both
-  /// run on the drain thread, under net_mu_.
-  void done_round(std::uint32_t batch_id);
-  void commit_round(std::uint32_t batch_id);
+  /// run on the drain thread.
+  void done_round(std::uint32_t batch_id) REQUIRES(net_mu_);
+  void commit_round(std::uint32_t batch_id) REQUIRES(net_mu_);
 
   void drain_expected(net::node_id_t node, net::msg_type type,
                       std::size_t expected);
@@ -98,19 +97,19 @@ class dist_quecc_engine final : public proto::engine {
 
   // Stage synchronization — same scheme as core::quecc_engine: monotonic
   // batch counters guarded by mu_, a batch's slot is counter % depth.
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t ready_ = 0;     ///< planned AND bundles delivered
-  std::uint64_t exec_done_ = 0;
-  std::uint64_t drained_ = 0;
-  bool stop_ = false;
+  common::mutex mu_;
+  common::cond_var cv_;
+  std::uint64_t submitted_ GUARDED_BY(mu_) = 0;
+  std::uint64_t ready_ GUARDED_BY(mu_) = 0;  ///< planned AND bundles landed
+  std::uint64_t exec_done_ GUARDED_BY(mu_) = 0;
+  std::uint64_t drained_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
 
   /// Serializes every use of net_: the plan-bundle round (planner thread)
   /// and the done/commit rounds (drain thread) each consume exactly the
   /// messages they produced before releasing it, so rounds of overlapping
-  /// batches cannot steal each other's messages.
-  std::mutex net_mu_;
+  /// batches cannot steal each other's messages. Never nested with mu_.
+  common::mutex net_mu_;
 
   // Drain-thread-only state.
   std::uint64_t last_drain_nanos_ = 0;

@@ -10,6 +10,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "common/mutex.hpp"
 #include "common/thread_util.hpp"
 #include "log/plan_codec.hpp"
 
@@ -86,18 +87,23 @@ log_writer::log_writer(std::string dir, writer_options opts)
     truncate_torn_tail(dir_ + "/" + segment_name(existing.back()));
     first = existing.back() + 1;
   }
-  open_segment(first);
+  {
+    // No concurrency yet (the flusher starts below), but open_segment
+    // REQUIRES(mu_), and taking it here keeps the contract unconditional.
+    common::mutex_lock lk(mu_);
+    open_segment(first);
+  }
   flusher_ = std::thread([this] { flusher_main(); });
 }
 
 log_writer::~log_writer() {
   {
-    std::lock_guard lk(mu_);
+    common::mutex_lock lk(mu_);
     stop_ = true;
   }
   flush_cv_.notify_all();
   flusher_.join();
-  std::lock_guard lk(mu_);
+  common::mutex_lock lk(mu_);
   if (fd_ >= 0) {
     ::fsync(fd_);
     ::close(fd_);
@@ -129,7 +135,7 @@ log_writer::lsn_t log_writer::append(record_type type,
   frame[8] = static_cast<std::byte>(type);
   std::memcpy(frame.data() + kFrameHeader, payload.data(), payload.size());
 
-  std::lock_guard lk(mu_);
+  common::mutex_lock lk(mu_);
   if (segment_bytes_written_ >= opts_.segment_bytes) {
     // Size rotation: the old segment's bytes become durable here, so the
     // flusher only ever needs to fsync the current fd.
@@ -146,42 +152,42 @@ log_writer::lsn_t log_writer::append(record_type type,
 
 void log_writer::request_flush() {
   {
-    std::lock_guard lk(mu_);
+    common::mutex_lock lk(mu_);
     flush_requested_ = true;
   }
   flush_cv_.notify_one();
 }
 
 void log_writer::wait_durable(lsn_t lsn) {
-  std::unique_lock lk(mu_);
+  common::mutex_lock lk(mu_);
   if (durable_ >= lsn) return;
   flush_requested_ = true;
   flush_cv_.notify_one();
-  durable_cv_.wait(lk, [&] { return durable_ >= lsn; });
+  while (durable_ < lsn) durable_cv_.wait(lk);
 }
 
 log_writer::lsn_t log_writer::appended_lsn() const {
-  std::lock_guard lk(mu_);
+  common::mutex_lock lk(mu_);
   return appended_;
 }
 
 log_writer::lsn_t log_writer::durable_lsn() const {
-  std::lock_guard lk(mu_);
+  common::mutex_lock lk(mu_);
   return durable_;
 }
 
 std::uint32_t log_writer::segment_index() const {
-  std::lock_guard lk(mu_);
+  common::mutex_lock lk(mu_);
   return segment_;
 }
 
 std::uint64_t log_writer::fsyncs() const {
-  std::lock_guard lk(mu_);
+  common::mutex_lock lk(mu_);
   return fsyncs_;
 }
 
 std::uint32_t log_writer::rotate_and_truncate() {
-  std::unique_lock lk(mu_);
+  common::mutex_lock lk(mu_);
   ::fsync(fd_);
   ++fsyncs_;
   ::close(fd_);
@@ -198,15 +204,23 @@ std::uint32_t log_writer::rotate_and_truncate() {
 
 void log_writer::flusher_main() {
   common::name_self("quecc-wal-sync");
-  std::unique_lock lk(mu_);
+  common::mutex_lock lk(mu_);
   for (;;) {
     // Group commit: park for at most one window, or until someone asks.
     // Every record appended while we slept shares the next fsync.
-    flush_cv_.wait_for(lk, std::chrono::microseconds(opts_.group_commit_micros),
-                       [&] { return stop_ || flush_requested_; });
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(opts_.group_commit_micros);
+    while (!(stop_ || flush_requested_)) {
+      if (flush_cv_.wait_until(lk, deadline) == std::cv_status::timeout) break;
+    }
     flush_requested_ = false;
     if (durable_ < appended_) {
       const lsn_t target = appended_;
+      // Snapshot fd_ and fsync it unlocked. If a size rotation swaps the
+      // segment meanwhile, the stale fd still names the *old* segment —
+      // which the rotation itself fsyncs before closing — so advancing
+      // durable_ to `target` below stays correct (benign stale-fd race).
       const int fd = fd_;
       lk.unlock();
       ::fsync(fd);

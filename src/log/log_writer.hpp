@@ -25,13 +25,14 @@
 // proto::session exposes to clients.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace quecc::log {
 
@@ -97,23 +98,27 @@ class log_writer {
   const std::string& dir() const noexcept { return dir_; }
 
  private:
-  void open_segment(std::uint32_t index);
+  void open_segment(std::uint32_t index) REQUIRES(mu_);
   void flusher_main();
 
   const std::string dir_;
   const writer_options opts_;
 
-  mutable std::mutex mu_;
-  std::condition_variable flush_cv_;    // flusher waits here
-  std::condition_variable durable_cv_;  // wait_durable waits here
-  int fd_ = -1;
-  std::uint32_t segment_ = 0;
-  std::uint64_t segment_bytes_written_ = 0;
-  lsn_t appended_ = 0;
-  lsn_t durable_ = 0;
-  std::uint64_t fsyncs_ = 0;
-  bool flush_requested_ = false;
-  bool stop_ = false;
+  // Lock hierarchy: mu_ alone guards all writer state; durable_cv_ carries
+  // the durable-LSN watermark to waiters, flush_cv_ wakes the flusher. The
+  // flusher drops mu_ around the fsync itself (the one slow syscall) and
+  // re-acquires it to publish durable_.
+  mutable common::mutex mu_;
+  common::cond_var flush_cv_;    // flusher waits here
+  common::cond_var durable_cv_;  // wait_durable waits here
+  int fd_ GUARDED_BY(mu_) = -1;
+  std::uint32_t segment_ GUARDED_BY(mu_) = 0;
+  std::uint64_t segment_bytes_written_ GUARDED_BY(mu_) = 0;
+  lsn_t appended_ GUARDED_BY(mu_) = 0;
+  lsn_t durable_ GUARDED_BY(mu_) = 0;
+  std::uint64_t fsyncs_ GUARDED_BY(mu_) = 0;
+  bool flush_requested_ GUARDED_BY(mu_) = false;
+  bool stop_ GUARDED_BY(mu_) = false;
   std::thread flusher_;
 };
 

@@ -1,7 +1,5 @@
 #include "net/network.hpp"
 
-#include <mutex>
-
 namespace quecc::net {
 
 network::network(node_id_t nodes, std::uint32_t one_way_latency_micros)
@@ -11,16 +9,17 @@ void network::send(message m) {
   m.deliver_at = sim_clock::now();
   if (m.from != m.to) {
     m.deliver_at += latency_;
+    // relaxed: stat counter only.
     sent_.fetch_add(1, std::memory_order_relaxed);
   }
   auto& box = inboxes_[m.to];
-  std::scoped_lock guard(box.latch);
+  common::spin_guard guard(box.latch);
   box.q.push_back(m);
 }
 
 bool network::poll(node_id_t node, message& out) {
   auto& box = inboxes_[node];
-  std::scoped_lock guard(box.latch);
+  common::spin_guard guard(box.latch);
   if (box.q.empty()) return false;
   // Constant latency keeps the deque ordered by delivery time up to
   // sender interleaving jitter; checking the front is sufficient.

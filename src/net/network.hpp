@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/spinlock.hpp"
+#include "common/thread_annotations.hpp"
 #include "net/message.hpp"
 
 namespace quecc::net {
@@ -34,16 +35,18 @@ class network {
   void broadcast(message m);
 
   std::uint64_t messages_sent() const noexcept {
+    // relaxed: stat counter; readers want a count, not ordering.
     return sent_.load(std::memory_order_relaxed);
   }
   void reset_counters() noexcept {
+    // relaxed: stat counter reset between measurement windows.
     sent_.store(0, std::memory_order_relaxed);
   }
 
  private:
   struct inbox {
     common::spinlock latch;
-    std::deque<message> q;
+    std::deque<message> q GUARDED_BY(latch);
   };
 
   std::vector<inbox> inboxes_;

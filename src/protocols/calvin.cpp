@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <mutex>
 
 #include "common/thread_util.hpp"
 #include "protocols/local_host.hpp"
@@ -48,7 +47,7 @@ void calvin_engine::ensure_pool() {
 }
 
 void calvin_engine::push_ready(seq_t s) {
-  std::scoped_lock guard(ready_latch_);
+  common::spin_guard guard(ready_latch_);
   ready_.push_back(s);  // capacity reserved per batch: no reallocation
   ready_count_.fetch_add(1, std::memory_order_release);
 }
@@ -56,6 +55,8 @@ void calvin_engine::push_ready(seq_t s) {
 bool calvin_engine::pop_ready(seq_t& s) {
   common::backoff bo;
   while (true) {
+    // relaxed: head only advances via the CAS below (acq_rel); the acquire
+    // load of count pairs with the producer's release publish.
     const std::size_t h = ready_head_.load(std::memory_order_relaxed);
     const std::size_t c = ready_count_.load(std::memory_order_acquire);
     if (h < c) {
@@ -77,7 +78,12 @@ void calvin_engine::run_batch(txn::batch& b, common::run_metrics& m) {
   common::stopwatch sw;
   current_ = &b;
   batch_start_nanos_ = common::now_nanos();
-  for (auto& s : stripes_) s.locks.clear();
+  // Workers are quiescent between batches, but clear under the latch
+  // anyway: the guarded-access contract stays unconditional.
+  for (auto& s : stripes_) {
+    common::spin_guard guard(s.latch);
+    s.locks.clear();
+  }
   for (auto& wm : worker_metrics_) wm = common::run_metrics{};
 
   // Pre-pass: initialize every transaction's ungranted-lock counter before
@@ -86,11 +92,13 @@ void calvin_engine::run_batch(txn::batch& b, common::run_metrics& m) {
   std::vector<std::pair<std::uint64_t, bool>> set;
   for (std::size_t i = 0; i < b.size(); ++i) {
     lock_set(b.at(i), set);
+    // relaxed: pre-pass, before begin_round() releases the workers.
     pending_locks_[i].store(static_cast<std::uint32_t>(set.size()),
                             std::memory_order_relaxed);
   }
   ready_.clear();
   ready_.reserve(b.size());
+  // relaxed: pre-pass, before workers start (see above).
   ready_head_.store(0, std::memory_order_relaxed);
   ready_count_.store(0, std::memory_order_relaxed);
   remaining_.store(static_cast<std::uint32_t>(b.size()),
@@ -118,7 +126,7 @@ void calvin_engine::schedule(txn::batch& b) {
       stripe& st = stripe_of(rec);
       bool granted = false;
       {
-        std::scoped_lock guard(st.latch);
+        common::spin_guard guard(st.latch);
         lock_entry& e = st.locks[rec];
         if (e.waiters.empty() &&
             (e.holders == 0 || (!exclusive && !e.held_exclusive))) {
@@ -146,7 +154,7 @@ void calvin_engine::release_locks(txn::txn_desc& t) {
     stripe& st = stripe_of(rec);
     std::vector<seq_t> granted;
     {
-      std::scoped_lock guard(st.latch);
+      common::spin_guard guard(st.latch);
       lock_entry& e = st.locks[rec];
       e.holders -= 1;
       if (e.holders == 0) e.held_exclusive = false;

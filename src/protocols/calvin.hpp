@@ -21,6 +21,7 @@
 
 #include "common/batch_pool.hpp"
 #include "common/spinlock.hpp"
+#include "common/thread_annotations.hpp"
 #include "protocols/iface.hpp"
 
 namespace quecc::proto {
@@ -44,7 +45,7 @@ class calvin_engine final : public engine {
   };
   struct stripe {
     common::spinlock latch;
-    std::unordered_map<std::uint64_t, lock_entry> locks;
+    std::unordered_map<std::uint64_t, lock_entry> locks GUARDED_BY(latch);
   };
   static constexpr std::size_t kStripes = 64;
 
@@ -74,7 +75,12 @@ class calvin_engine final : public engine {
   std::array<stripe, kStripes> stripes_;
   std::vector<std::atomic<std::uint32_t>> pending_locks_;
 
-  common::spinlock ready_latch_;
+  /// Ready queue, same hybrid protocol as dist_calvin's node_ready (and
+  /// deliberately not GUARDED_BY): producers push under ready_latch_ and
+  /// release-publish via ready_count_; consumers pop latch-free through an
+  /// acquire load of ready_count_ + CAS on ready_head_. ready_ never
+  /// reallocates mid-batch (capacity reserved up front).
+  common::spinlock ready_latch_;  ///< serializes producers only
   std::vector<seq_t> ready_;
   std::atomic<std::size_t> ready_head_{0};
   std::atomic<std::size_t> ready_count_{0};

@@ -28,6 +28,11 @@ class hstore_engine final : public engine {
   void run_batch(txn::batch& b, common::run_metrics& m) override;
 
  private:
+  /// Multi-partition rendezvous, lock-free by design: participants
+  /// release-increment `arrived`, the home partition acquire-spins to the
+  /// participant count, executes, then release-stores `done` which the
+  /// others acquire-spin on. The plain fields are set in the pre-pass,
+  /// before workers start.
   struct mp_state {
     std::atomic<std::uint32_t> arrived{0};
     std::atomic<bool> done{false};

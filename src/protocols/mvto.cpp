@@ -2,9 +2,9 @@
 
 #include <cstring>
 #include <memory>
-#include <mutex>
 
 #include "common/spinlock.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace quecc::proto {
 
@@ -38,18 +38,18 @@ class mvto_engine::version_store {
 
   struct rec {
     common::spinlock latch;
-    std::uint64_t max_rts = 0;
-    bool initialized = false;  ///< lazily seeded from the base row
-    std::vector<version> chain;
+    std::uint64_t max_rts GUARDED_BY(latch) = 0;
+    bool initialized GUARDED_BY(latch) = false;  ///< lazily base-row seeded
+    std::vector<version> chain GUARDED_BY(latch);
   };
 
   rec& at(table_id_t table, storage::row_id_t rid) {
     return tables_[table][storage::rid_shard(rid)][storage::rid_slot(rid)];
   }
 
-  /// Seed version 0 from the loaded base row on first touch. Caller holds
-  /// the latch.
-  void ensure_seeded(table_id_t table, storage::row_id_t rid, rec& r) {
+  /// Seed version 0 from the loaded base row on first touch.
+  void ensure_seeded(table_id_t table, storage::row_id_t rid, rec& r)
+      REQUIRES(r.latch) {
     if (r.initialized) return;
     const auto row = db_.at(table).row(rid);
     r.chain.push_back({0, true, {row.begin(), row.end()}});
@@ -75,6 +75,8 @@ class mvto_ctx final : public worker_ctx, public txn::frag_host {
 
   void begin(txn::txn_desc&) override {
     cc_failed_ = false;
+    // relaxed: timestamp allocation needs uniqueness, not ordering — every
+    // chain access that uses ts_ happens under the record latch.
     ts_ = ts_source_.fetch_add(1, std::memory_order_relaxed);
     writes_.clear();
     read_bufs_.clear();
@@ -92,10 +94,12 @@ class mvto_ctx final : public worker_ctx, public txn::frag_host {
       if (w.op == txn::op_kind::insert) {
         const auto rid = tab.allocate_row(w.part);
         auto row = tab.row(rid);
-        std::memcpy(row.data(), w.buf.data(),
-                    std::min(w.buf.size(), row.size()));
+        if (!w.buf.empty()) {  // empty data() is null; null memcpy src is UB
+          std::memcpy(row.data(), w.buf.data(),
+                      std::min(w.buf.size(), row.size()));
+        }
         auto& r = store_.at(w.table, rid);
-        std::scoped_lock guard(r.latch);
+        common::spin_guard guard(r.latch);
         r.chain.push_back({ts_, true, std::move(w.buf)});
         r.initialized = true;
         if (!tab.index_row(w.key, rid)) {
@@ -106,7 +110,7 @@ class mvto_ctx final : public worker_ctx, public txn::frag_host {
         continue;
       }
       auto& r = store_.at(w.table, w.rid);
-      std::scoped_lock guard(r.latch);
+      common::spin_guard guard(r.latch);
       for (auto& v : r.chain) {
         if (v.wts == ts_) {
           // Adopt the logic's private buffer as the version payload, then
@@ -114,7 +118,11 @@ class mvto_ctx final : public worker_ctx, public txn::frag_host {
           // harness's state hash sees MVTO's logical state.
           if (w.op == txn::op_kind::update) v.data = std::move(w.buf);
           v.committed = true;
-          std::memcpy(tab.row(w.rid).data(), v.data.data(), v.data.size());
+          // Erase versions carry no payload, and memcpy from an empty
+          // vector's data() (null) is UB even at size zero.
+          if (!v.data.empty()) {
+            std::memcpy(tab.row(w.rid).data(), v.data.data(), v.data.size());
+          }
           break;
         }
       }
@@ -130,7 +138,7 @@ class mvto_ctx final : public worker_ctx, public txn::frag_host {
     for (auto& w : writes_) {
       if (w.op == txn::op_kind::insert || w.rid == storage::kNoRow) continue;
       auto& r = store_.at(w.table, w.rid);
-      std::scoped_lock guard(r.latch);
+      common::spin_guard guard(r.latch);
       for (std::size_t i = 0; i < r.chain.size(); ++i) {
         if (r.chain[i].wts == ts_ && !r.chain[i].committed) {
           r.chain.erase(r.chain.begin() + static_cast<std::ptrdiff_t>(i));
@@ -152,7 +160,7 @@ class mvto_ctx final : public worker_ctx, public txn::frag_host {
     auto& r = store_.at(f.table, rid);
     auto& buf = read_bufs_.emplace_back();
     {
-      std::scoped_lock guard(r.latch);
+      common::spin_guard guard(r.latch);
       store_.ensure_seeded(f.table, rid, r);
       // A pending writer older than us might commit underneath our read:
       // its outcome is unknown, so reading past it is unsafe.
@@ -188,7 +196,7 @@ class mvto_ctx final : public worker_ctx, public txn::frag_host {
     auto& r = store_.at(f.table, rid);
     std::vector<std::byte> base;
     {
-      std::scoped_lock guard(r.latch);
+      common::spin_guard guard(r.latch);
       store_.ensure_seeded(f.table, rid, r);
       // Write rule: abort when a later reader already saw this row, when a
       // later version exists, or when another writer is pending.
@@ -220,7 +228,7 @@ class mvto_ctx final : public worker_ctx, public txn::frag_host {
     // commit adopts it as the pending version's payload (the chain may
     // reallocate while unlatched, so handing out a span into it is unsafe).
     {
-      std::scoped_lock guard(r.latch);
+      common::spin_guard guard(r.latch);
       for (auto& v : r.chain) {
         if (v.wts == ts_ && !v.committed) {
           w.buf = v.data;
@@ -248,7 +256,7 @@ class mvto_ctx final : public worker_ctx, public txn::frag_host {
     if (rid == storage::kNoRow) return false;
     auto& r = store_.at(f.table, rid);
     {
-      std::scoped_lock guard(r.latch);
+      common::spin_guard guard(r.latch);
       store_.ensure_seeded(f.table, rid, r);
       if (r.max_rts > ts_) {
         cc_failed_ = true;
@@ -289,7 +297,7 @@ class mvto_ctx final : public worker_ctx, public txn::frag_host {
     return nullptr;
   }
 
-  void prune(version_store::rec& r) {
+  void prune(version_store::rec& r) REQUIRES(r.latch) {
     // Drop oldest committed versions beyond the keep limit; pending
     // versions (there is at most one) are never pruned.
     while (r.chain.size() > kKeepVersions && r.chain.front().committed) {

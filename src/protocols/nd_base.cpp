@@ -1,7 +1,5 @@
 #include "protocols/nd_base.hpp"
 
-#include <mutex>
-
 #include "txn/procedure.hpp"
 
 namespace quecc::proto {
@@ -30,9 +28,16 @@ void nd_engine_base::run_batch(txn::batch& b, common::run_metrics& m) {
   ensure_pool();
   common::stopwatch sw;
   current_ = &b;
+  // relaxed: reset before run_round() releases the workers (the pool's
+  // round barrier is the publication edge).
   cursor_.store(0, std::memory_order_relaxed);
-  commit_order_.clear();
-  commit_order_.reserve(b.size());
+  {
+    // Workers are quiescent between rounds, but reset under the lock
+    // anyway: the guarded-access contract stays unconditional.
+    common::spin_guard guard(order_lock_);
+    commit_order_.clear();
+    commit_order_.reserve(b.size());
+  }
   for (auto& wm : worker_metrics_) wm = common::run_metrics{};
 
   pool_->run_round();
@@ -48,6 +53,8 @@ void nd_engine_base::worker_job(unsigned w) {
   txn::batch& b = *current_;
 
   while (true) {
+    // relaxed: work-stealing cursor; claiming an index needs atomicity
+    // only — batch contents were published by the round barrier.
     const std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
     if (i >= b.size()) break;
     txn::txn_desc& t = b.at(i);
@@ -64,6 +71,8 @@ void nd_engine_base::worker_job(unsigned w) {
         // this thread, so data dependencies are trivially satisfied.
         const auto st = t.proc->run_fragment(f, t, ctx.host());
         if (f.abortable) {
+          // relaxed: single-thread execution here; the counter only feeds
+          // this protocol family's own bookkeeping.
           t.pending_abortables.fetch_sub(1, std::memory_order_relaxed);
         }
         if (ctx.cc_failed()) break;
@@ -86,7 +95,7 @@ void nd_engine_base::worker_job(unsigned w) {
         break;
       }
       const auto record_order = [this, &t] {
-        std::scoped_lock guard(order_lock_);
+        common::spin_guard guard(order_lock_);
         commit_order_.push_back(t.seq);
       };
       if (!ctx.try_commit(t, record_order)) {

@@ -18,6 +18,7 @@
 #include "common/batch_pool.hpp"
 #include "common/spinlock.hpp"
 #include "common/stats.hpp"
+#include "common/thread_annotations.hpp"
 #include "protocols/iface.hpp"
 #include "txn/procedure.hpp"
 
@@ -59,6 +60,9 @@ class nd_engine_base : public engine {
 
   const char* name() const noexcept override { return display_name_; }
   void run_batch(txn::batch& b, common::run_metrics& m) override;
+  /// Read at quiescent points only (between run_batch calls): the pointer
+  /// itself is stable, and workers stopped appending when run_round
+  /// returned. Taking the address is not a guarded access under TSA.
   const std::vector<seq_t>* commit_order() const noexcept override {
     return &commit_order_;
   }
@@ -81,7 +85,7 @@ class nd_engine_base : public engine {
   txn::batch* current_ = nullptr;
   std::atomic<std::size_t> cursor_{0};
   common::spinlock order_lock_;
-  std::vector<seq_t> commit_order_;
+  std::vector<seq_t> commit_order_ GUARDED_BY(order_lock_);
 };
 
 }  // namespace quecc::proto

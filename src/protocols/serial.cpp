@@ -12,6 +12,7 @@ bool run_txn_serially(txn::txn_desc& t, inplace_host& host) {
     // (producer idx < consumer idx, checked by validate_plan).
     const auto st = t.proc->run_fragment(f, t, host);
     if (f.abortable) {
+      // relaxed: serial execution — nobody observes the countdown midway.
       t.pending_abortables.fetch_sub(1, std::memory_order_relaxed);
     }
     if (st == txn::frag_status::abort) {

@@ -134,6 +134,11 @@ class session {
   void pump_main();
   static bool prepare(const std::unique_ptr<txn::txn_desc>& t);
 
+  // Synchronization: cross-thread hand-offs go through queue_ (its own
+  // mutex) and core::ticket_state (release-publish of `done`); metrics_
+  // and last_commit_nanos_ are pump-thread-private until close() joins the
+  // pump, whose join is the happens-before edge that makes them readable —
+  // hence no lock and no GUARDED_BY on them.
   engine& eng_;
   core::admission_queue queue_;
   core::batch_former former_;

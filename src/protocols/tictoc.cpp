@@ -83,6 +83,8 @@ class tictoc_ctx final : public worker_ctx, public txn::frag_host {
       switch (w.op) {
         case txn::op_kind::update: {
           std::memcpy(tab.row(w.rid).data(), w.buf.data(), w.buf.size());
+          // relaxed: the release store of word1 (the wts/lock word readers
+          // validate against) below publishes rts alongside the row bytes.
           tab.meta(w.rid).word2.store(commit_ts, std::memory_order_relaxed);
           tab.meta(w.rid).word1.store(commit_ts, std::memory_order_release);
           w.locked = false;
@@ -93,6 +95,7 @@ class tictoc_ctx final : public worker_ctx, public txn::frag_host {
           auto row = tab.row(rid);
           std::memcpy(row.data(), w.buf.data(),
                       std::min(w.buf.size(), row.size()));
+          // relaxed: published by the word1 release store below (see above).
           tab.meta(rid).word2.store(commit_ts, std::memory_order_relaxed);
           tab.meta(rid).word1.store(commit_ts, std::memory_order_release);
           if (!tab.index_row(w.key, rid)) tab.retire_unindexed(rid);
@@ -100,6 +103,8 @@ class tictoc_ctx final : public worker_ctx, public txn::frag_host {
         }
         case txn::op_kind::erase: {
           tab.erase(w.key, storage::rid_shard(w.rid));
+          // relaxed: the release store of word1 (the wts/lock word readers
+          // validate against) below publishes rts alongside the row bytes.
           tab.meta(w.rid).word2.store(commit_ts, std::memory_order_relaxed);
           tab.meta(w.rid).word1.store(commit_ts, std::memory_order_release);
           w.locked = false;

@@ -29,6 +29,7 @@ class twopl_ctx final : public worker_ctx, public txn::frag_host {
     undo_.clear();
     // Wait-die keeps the *first* attempt's timestamp across retries so a
     // repeatedly-dying transaction eventually becomes the oldest and wins.
+    // relaxed: timestamps need uniqueness only, not ordering.
     if (ts_ == 0) ts_ = ts_source_.fetch_add(1, std::memory_order_relaxed);
   }
 

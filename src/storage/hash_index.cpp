@@ -1,7 +1,6 @@
 #include "storage/hash_index.hpp"
 
 #include <bit>
-#include <mutex>
 
 namespace quecc::storage {
 
@@ -19,6 +18,7 @@ hash_index::hash_index(std::size_t expected)
 }
 
 hash_index::~hash_index() {
+  // relaxed: destructor runs single-threaded (no concurrent publishers).
   for (auto& b : buckets_) {
     node* n = b.head.next.load(std::memory_order_relaxed);
     while (n != nullptr) {
@@ -66,7 +66,7 @@ row_id_t hash_index::find(key_t key) const noexcept {
 }
 
 row_id_t hash_index::lookup(key_t key) const noexcept {
-  std::scoped_lock guard(lock_for(key));
+  common::spin_guard guard(lock_for(key));
   return find(key);
 }
 
@@ -75,13 +75,16 @@ row_id_t hash_index::lookup_unlocked(key_t key) const noexcept {
 }
 
 bool hash_index::insert(key_t key, row_id_t row) {
-  std::scoped_lock guard(lock_for(key));
+  common::spin_guard guard(lock_for(key));
   node* last = &bucket_for(key).head;
+  // relaxed: chain traversal under the stripe lock — writers are mutually
+  // excluded, so no publication edge is needed on this path's loads.
   for (node* n = last; n != nullptr;
        n = n->next.load(std::memory_order_relaxed)) {
     const std::uint32_t c = n->count.load(std::memory_order_relaxed);
     for (std::uint32_t i = 0; i < c; ++i) {
       if (n->slots[i].key == key) {
+        // relaxed: row flips only under this stripe lock.
         if (n->slots[i].row.load(std::memory_order_relaxed) != kNoRow) {
           return false;  // live duplicate
         }
@@ -93,16 +96,19 @@ bool hash_index::insert(key_t key, row_id_t row) {
     }
     last = n;
   }
+  // relaxed: count only advances under this stripe lock.
   const std::uint32_t c = last->count.load(std::memory_order_relaxed);
   if (c < kNodeEntries) {
     // Write the slot fully, then publish it via the count: a concurrent
     // lock-free reader acquiring the count sees a complete entry.
     last->slots[c].key = key;
+    // relaxed: the release store of count below publishes the whole slot.
     last->slots[c].row.store(row, std::memory_order_relaxed);
     last->count.store(c + 1, std::memory_order_release);
   } else {
     node* fresh = new node;
     fresh->slots[0].key = key;
+    // relaxed: the release store of next below publishes the whole node.
     fresh->slots[0].row.store(row, std::memory_order_relaxed);
     fresh->count.store(1, std::memory_order_relaxed);
     last->next.store(fresh, std::memory_order_release);  // publish the node
@@ -112,12 +118,14 @@ bool hash_index::insert(key_t key, row_id_t row) {
 }
 
 bool hash_index::erase(key_t key) {
-  std::scoped_lock guard(lock_for(key));
+  common::spin_guard guard(lock_for(key));
+  // relaxed: chain traversal under the stripe lock (see insert).
   for (node* n = &bucket_for(key).head; n != nullptr;
        n = n->next.load(std::memory_order_relaxed)) {
     const std::uint32_t c = n->count.load(std::memory_order_relaxed);
     for (std::uint32_t i = 0; i < c; ++i) {
       if (n->slots[i].key == key) {
+        // relaxed: row flips only under this stripe lock.
         if (n->slots[i].row.load(std::memory_order_relaxed) == kNoRow) {
           return false;  // already tombstoned
         }

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/spinlock.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace quecc::storage {
@@ -53,6 +54,8 @@ class hash_index {
 
   /// Lock-free lookup (see header comment): safe concurrently with
   /// writers, takes no lock of any kind. The partition-local hot path.
+  /// EXCLUDES is deliberately absent: holding a stripe is *allowed* (the
+  /// locked lookup is just this plus a stripe), it is simply unnecessary.
   row_id_t lookup_unlocked(key_t key) const noexcept;
 
   /// Insert; returns false when the key already exists (live). Re-inserting
@@ -112,6 +115,11 @@ class hash_index {
   /// the stripe lock).
   row_id_t find(key_t key) const noexcept;
 
+  // The stripe array is indexed dynamically (lock_for(key)), which Clang
+  // TSA cannot track as a capability expression; the discipline — writers
+  // hold the key's stripe, readers need none (node chains publish via
+  // release/acquire, entries are tombstoned in place, never freed) — is
+  // enforced by TSAN and documented in the header comment instead.
   std::vector<bucket> buckets_;
   mutable std::vector<common::spinlock> locks_;
   std::atomic<std::size_t> live_{0};

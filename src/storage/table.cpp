@@ -1,7 +1,6 @@
 #include "storage/table.hpp"
 
 #include <cstring>
-#include <mutex>
 #include <stdexcept>
 
 namespace quecc::storage {
@@ -53,7 +52,7 @@ row_id_t table::allocate_row(part_id_t part) {
   const part_id_t s = home_shard(part);
   shard& sh = *shards_[s];
   if (sh.free_count.load(std::memory_order_acquire) != 0) {
-    std::scoped_lock guard(sh.free_lock);
+    common::spin_guard guard(sh.free_lock);
     if (!sh.free_slots.empty()) {
       const std::uint64_t slot = sh.free_slots.back();
       sh.free_slots.pop_back();
@@ -75,9 +74,11 @@ void table::retire_unindexed(row_id_t rid) {
   // The slot was never indexed, so no other thread references it; reset
   // the protocol metadata a previous occupant may have left behind.
   row_meta& m = sh.meta[rid_slot(rid)];
+  // relaxed: unreferenced slot (never indexed); publication to the next
+  // owner happens through the free_lock + free_count release below.
   m.word1.store(0, std::memory_order_relaxed);
   m.word2.store(0, std::memory_order_relaxed);
-  std::scoped_lock guard(sh.free_lock);
+  common::spin_guard guard(sh.free_lock);
   sh.free_slots.push_back(rid_slot(rid));
   sh.free_count.fetch_add(1, std::memory_order_release);
 }

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/spinlock.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 #include "storage/hash_index.hpp"
 #include "storage/schema.hpp"
@@ -240,7 +241,10 @@ class table {
     hash_index index;
     std::atomic<std::uint64_t> next_row{0};
     common::spinlock free_lock;
-    std::vector<std::uint64_t> free_slots;  ///< recycled slot numbers
+    /// Recycled slot numbers. free_count is the lock-free "is it worth
+    /// taking free_lock" hint: writers release-increment it after pushing
+    /// under the lock, allocate_row acquire-loads it before locking.
+    std::vector<std::uint64_t> free_slots GUARDED_BY(free_lock);
     std::atomic<std::uint32_t> free_count{0};
     std::size_t capacity;
   };

@@ -7,6 +7,9 @@
 namespace quecc::txn {
 
 void txn_desc::reset_runtime() {
+  // relaxed (all stores below): reset runs before the batch is handed to
+  // workers; the release fence at the end + the engine's stage hand-off
+  // publish the whole reset at once.
   status.store(txn_status::active, std::memory_order_relaxed);
   std::uint32_t abortables = 0;
   for (const auto& f : frags) {
@@ -20,11 +23,12 @@ void txn_desc::reset_runtime() {
       ++abortables;
     }
   }
+  // relaxed: see above.
   pending_abortables.store(abortables, std::memory_order_relaxed);
   remaining_frags.store(static_cast<std::uint32_t>(frags.size()),
-                        std::memory_order_relaxed);
+                        std::memory_order_relaxed);  // relaxed: see above
   for (auto& s : slots_) {
-    s.value.store(0, std::memory_order_relaxed);
+    s.value.store(0, std::memory_order_relaxed);  // relaxed: see above
     s.ready.store(0, std::memory_order_relaxed);
   }
   std::atomic_thread_fence(std::memory_order_release);

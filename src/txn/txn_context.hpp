@@ -74,6 +74,7 @@ class txn_desc {
 
   /// Producer side: publish `v` into `slot`.
   void produce(std::uint16_t slot, std::uint64_t v) noexcept {
+    // relaxed: the release store of ready below publishes the value.
     slots_[slot].value.store(v, std::memory_order_relaxed);
     slots_[slot].ready.store(1, std::memory_order_release);
   }

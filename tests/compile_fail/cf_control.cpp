@@ -1,0 +1,43 @@
+// Control: the same primitives the cf_* violations abuse, used correctly.
+//
+// This file must COMPILE (its ctest entry has no WILL_FAIL). It proves the
+// harness builds real code against the real headers — without it, every
+// violation test could "pass" because of a broken include path or stale
+// compile db rather than a thread-safety diagnostic.
+
+#include <cstdint>
+
+#include "common/mutex.hpp"
+#include "common/spinlock.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class counter {
+ public:
+  void bump() {
+    quecc::common::mutex_lock lk(mu_);
+    apply(1);
+  }
+
+  std::uint64_t spins() {
+    quecc::common::spin_guard guard(latch_);
+    return spins_++;
+  }
+
+ private:
+  void apply(std::uint64_t amount) REQUIRES(mu_) { value_ += amount; }
+
+  quecc::common::mutex mu_;
+  std::uint64_t value_ GUARDED_BY(mu_) = 0;
+  quecc::common::spinlock latch_;
+  std::uint64_t spins_ GUARDED_BY(latch_) = 0;
+};
+
+}  // namespace
+
+void cf_control_entry() {
+  counter c;
+  c.bump();
+  (void)c.spins();
+}

@@ -1,0 +1,14 @@
+// Violation: acquiring the same spinlock twice in one scope.
+//
+// common::spinlock is not recursive — a second acquisition on the same
+// thread spins forever. The SCOPED_CAPABILITY annotations on spin_guard
+// let Clang catch the self-deadlock at compile time: the second guard
+// below is "acquiring mutex 'lock' that is already held".
+
+#include "common/spinlock.hpp"
+
+void cf_double_acquire_entry() {
+  quecc::common::spinlock lock;
+  quecc::common::spin_guard first(lock);
+  quecc::common::spin_guard second(lock);  // error: already held
+}

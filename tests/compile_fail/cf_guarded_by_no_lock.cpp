@@ -1,0 +1,31 @@
+// Violation: writing a GUARDED_BY member without holding its mutex.
+//
+// This is the contract every annotated subsystem header declares (engine
+// counters, admission queue, log writer watermarks...); under Clang
+// -Werror=thread-safety the access below fails to compile, and the ctest
+// WILL_FAIL entry wrapping this target passes exactly because it does.
+
+#include <cstdint>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class counter {
+ public:
+  void bump_unlocked() {
+    ++value_;  // error: writing variable 'value_' requires holding mutex 'mu_'
+  }
+
+ private:
+  quecc::common::mutex mu_;
+  std::uint64_t value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void cf_guarded_by_no_lock_entry() {
+  counter c;
+  c.bump_unlocked();
+}

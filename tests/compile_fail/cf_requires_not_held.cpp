@@ -1,0 +1,33 @@
+// Violation: calling a REQUIRES(mu_) function without holding the mutex.
+//
+// The pattern under test is the private-helper contract used by
+// admission_queue::has_room, log_writer::open_segment, and the protocol
+// helpers (mvto::prune, ...): a helper declares REQUIRES and every caller
+// must hold the lock. The unguarded call below fails to compile.
+
+#include <cstdint>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class ledger {
+ public:
+  void deposit_unlocked(std::uint64_t amount) {
+    apply(amount);  // error: calling function 'apply' requires holding 'mu_'
+  }
+
+ private:
+  void apply(std::uint64_t amount) REQUIRES(mu_) { balance_ += amount; }
+
+  quecc::common::mutex mu_;
+  std::uint64_t balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void cf_requires_not_held_entry() {
+  ledger l;
+  l.deposit_unlocked(1);
+}
