@@ -111,6 +111,15 @@ print("lint: custom concurrency lints clean")
 PY
 
 # ---------------------------------------------------------------------------
+# Determinism contract: tools/quecc-analyze over src/ (phase discipline,
+# banned nondeterministic APIs, ordered-output hygiene — see
+# src/common/phase_annotations.hpp). The text frontend needs only python3;
+# --frontend=auto upgrades itself to libclang when the bindings and the
+# compile database are available (the clang CI job).
+# ---------------------------------------------------------------------------
+python3 tools/quecc-analyze --frontend=auto --compile-db "$BUILD_DIR/compile_commands.json"
+
+# ---------------------------------------------------------------------------
 # clang-tidy over every src/ translation unit in the compile database.
 # ---------------------------------------------------------------------------
 if ! command -v clang-tidy >/dev/null 2>&1; then

@@ -11,10 +11,16 @@
 #include <cstdint>
 #include <string>
 
+#include "common/phase_annotations.hpp"
+
 namespace quecc::common {
 
 /// Monotonic clock reading in nanoseconds since an arbitrary epoch. All
 /// latency metrics derive from this one clock choice.
+QUECC_NONDET(
+    "monotonic stats clock; readings feed latency metrics and stage-window "
+    "accounting only, never transaction results, planned batches, or "
+    "serialized state")
 inline std::uint64_t now_nanos() noexcept {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -25,16 +31,20 @@ inline std::uint64_t now_nanos() noexcept {
 /// Monotonic wall-clock stopwatch.
 class stopwatch {
  public:
+  QUECC_NONDET("stats stopwatch; timings never influence execution")
   stopwatch() : start_(clock::now()) {}
 
+  QUECC_NONDET("stats stopwatch; timings never influence execution")
   void restart() { start_ = clock::now(); }
 
   /// Elapsed time in seconds.
+  QUECC_NONDET("stats stopwatch; timings never influence execution")
   double seconds() const {
     return std::chrono::duration<double>(clock::now() - start_).count();
   }
 
   /// Elapsed time in nanoseconds.
+  QUECC_NONDET("stats stopwatch; timings never influence execution")
   std::uint64_t nanos() const {
     return static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/phase_annotations.hpp"
+
 namespace quecc::common {
 
 /// Number of hardware threads, never less than 1.
@@ -29,6 +31,9 @@ void yield_cpu() noexcept;
 /// coordination costs (e.g. H-Store's 2PC round) without sleeping the
 /// thread — the point is to occupy the partition, exactly like the real
 /// blocking protocol would.
+QUECC_NONDET(
+    "calibrated busy-wait; models coordination cost in wall time only and "
+    "returns nothing — timing cannot alter transaction results")
 void spin_for_micros(std::uint32_t micros) noexcept;
 
 }  // namespace quecc::common

@@ -403,6 +403,8 @@ void quecc_engine::log_commit_record(const txn::batch& b) {
       end_inflight = submitted_;
     }
     for (std::uint64_t k = first_inflight; k < end_inflight; ++k) {
+      // quecc-ok(phase): drain thread re-appends at the quiescent point;
+      // batch contents are frozen (planners never write them at depth >= 2)
       log_batch_record(*pipe_.slots[k % cfg_.pipeline_depth]->batch);
     }
   }

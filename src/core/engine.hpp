@@ -36,6 +36,7 @@
 
 #include "common/config.hpp"
 #include "common/mutex.hpp"
+#include "common/phase_annotations.hpp"
 #include "common/thread_annotations.hpp"
 #include "core/executor.hpp"
 #include "core/planner.hpp"
@@ -54,7 +55,7 @@ namespace quecc::core {
 /// and read-committed publishing. Used by the centralized engine and the
 /// distributed engine (whose nodes share one process, so the deterministic
 /// epilogue runs once globally — matching the paradigm's "no 2PC" commit).
-recovery_stats batch_epilogue(
+EPILOGUE_PHASE recovery_stats batch_epilogue(
     storage::database& db, const common::config& cfg, txn::batch& b,
     std::span<const std::unique_ptr<executor>> executors, spec_manager& spec,
     storage::dual_version_store* committed, common::run_metrics& m);
@@ -111,7 +112,7 @@ struct batch_slot {
   /// mutex after batch n-1 drained and before any executor of batch n
   /// starts, which is exactly the image depth-1's planning-time
   /// resolution observed.
-  void resolve_read_queues(storage::database& db);
+  EXEC_PHASE void resolve_read_queues(storage::database& db);
 };
 
 /// Planner/executor fabric shared by the centralized engine and the
@@ -169,10 +170,10 @@ class quecc_engine final : public proto::engine {
   const phase_stats& last_phases() const noexcept { return phases_; }
 
  private:
-  void planner_main(worker_id_t p);
-  void executor_main(worker_id_t e);
-  void log_batch_record(const txn::batch& b);
-  void log_commit_record(const txn::batch& b);
+  PLAN_PHASE void planner_main(worker_id_t p);
+  EXEC_PHASE void executor_main(worker_id_t e);
+  PLAN_PHASE void log_batch_record(const txn::batch& b);
+  EPILOGUE_PHASE void log_commit_record(const txn::batch& b);
 
   storage::database& db_;
   common::config cfg_;

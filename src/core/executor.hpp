@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/phase_annotations.hpp"
 #include "common/stats.hpp"
 #include "core/exec_log.hpp"
 #include "core/frag_queue.hpp"
@@ -44,26 +45,26 @@ class executor final : public txn::frag_host {
   }
 
   /// Drain conflict queues in the given (priority-sorted) order.
-  void run_conflict_queues(std::span<const frag_queue* const> queues);
+  EXEC_PHASE void run_conflict_queues(std::span<const frag_queue* const> queues);
 
   /// Claim and drain read-committed read queues from the shared pool.
   /// `cursor` is the engine-owned claim index over `queues`.
-  void run_read_queues(std::span<const frag_queue* const> queues,
-                       std::atomic<std::size_t>& cursor);
+  EXEC_PHASE void run_read_queues(std::span<const frag_queue* const> queues,
+                                  std::atomic<std::size_t>& cursor);
 
   // --- frag_host (in-place speculative / conservative execution) ---------
-  std::span<const std::byte> read_row(const txn::fragment& f,
-                                      txn::txn_desc& t) override;
-  std::span<std::byte> update_row(const txn::fragment& f,
-                                  txn::txn_desc& t) override;
-  std::span<std::byte> insert_row(const txn::fragment& f,
-                                  txn::txn_desc& t) override;
-  bool erase_row(const txn::fragment& f, txn::txn_desc& t) override;
+  EXEC_PHASE std::span<const std::byte> read_row(const txn::fragment& f,
+                                                 txn::txn_desc& t) override;
+  EXEC_PHASE std::span<std::byte> update_row(const txn::fragment& f,
+                                             txn::txn_desc& t) override;
+  EXEC_PHASE std::span<std::byte> insert_row(const txn::fragment& f,
+                                             txn::txn_desc& t) override;
+  EXEC_PHASE bool erase_row(const txn::fragment& f, txn::txn_desc& t) override;
 
  private:
-  void process(const frag_entry& e);
-  void skip(const frag_entry& e);
-  void finish(txn::txn_desc& t);
+  EXEC_PHASE void process(const frag_entry& e);
+  EXEC_PHASE void skip(const frag_entry& e);
+  EXEC_PHASE void finish(txn::txn_desc& t);
 
   /// Resolve a fragment's row id, falling back to an execution-time index
   /// lookup for records created earlier in this batch (FIFO on the home

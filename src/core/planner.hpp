@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/phase_annotations.hpp"
 #include "core/frag_queue.hpp"
 #include "storage/database.hpp"
 #include "txn/batch.hpp"
@@ -43,7 +44,7 @@ class planner {
 
   /// Plan this planner's slice of `b` into `out`. Deterministic: depends
   /// only on (batch contents, planner id, P, E, isolation).
-  void plan(txn::batch& b, plan_output& out);
+  PLAN_PHASE void plan(txn::batch& b, plan_output& out);
 
  private:
   /// Pure read fragments are eligible for the RC read queues; everything
@@ -52,15 +53,16 @@ class planner {
   /// transaction: a read producing such a slot must stay in the conflict
   /// queues, otherwise an executor draining conflict queues could wait on a
   /// slot whose producer sits in a not-yet-claimed read queue (deadlock).
-  bool goes_to_read_queue(const txn::fragment& f,
-                          std::uint64_t writer_needed) const noexcept;
+  PLAN_PHASE bool goes_to_read_queue(const txn::fragment& f,
+                                     std::uint64_t writer_needed) const noexcept;
 
   /// Backward pass computing the writer-needed slot mask for one txn.
-  static std::uint64_t writer_needed_slots(const txn::txn_desc& t) noexcept;
+  PLAN_PHASE static std::uint64_t writer_needed_slots(
+      const txn::txn_desc& t) noexcept;
 
   /// Queue routing: node by home partition, executor within the node by a
   /// per-record hash (intra-partition parallelism).
-  worker_id_t route(const txn::fragment& f) const noexcept;
+  PLAN_PHASE worker_id_t route(const txn::fragment& f) const noexcept;
 
   worker_id_t id_;
   const common::config& cfg_;

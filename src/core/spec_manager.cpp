@@ -68,7 +68,11 @@ recovery_stats spec_manager::recover(txn::batch& b,
       written[u.seq].push_back(rec);
     }
   }
+  // In-place per-key sort: each visit mutates only its own value vector and
+  // nothing is emitted, so map iteration order cannot reach any output.
+  // quecc-ok(unordered): independent per-key mutation, no output
   for (auto& [_, seqs] : accessors) std::sort(seqs.begin(), seqs.end());
+  // quecc-ok(unordered): independent per-key mutation, no output
   for (auto& [_, seqs] : writers) std::sort(seqs.begin(), seqs.end());
 
   const auto taint_after =
@@ -117,6 +121,11 @@ recovery_stats spec_manager::recover(txn::batch& b,
       }
     }
   }
+  // Group application order is free: groups are disjoint record sets (a
+  // rec_id collision *merges* records into one group, never splits one),
+  // so rollbacks of different groups touch disjoint rows and commute.
+  // Within a group the refs keep log order, which is what matters.
+  // quecc-ok(unordered): disjoint per-record groups, rollback commutes
   for (auto& [_, refs] : per_record) {
     for (auto it = refs.rbegin(); it != refs.rend(); ++it) {
       const auto& u = it->log->undo[it->pos];
@@ -175,6 +184,8 @@ recovery_stats spec_manager::recover(txn::batch& b,
           {log, i});
     }
   }
+  // Same argument as the per_record pass: disjoint groups, order-free.
+  // quecc-ok(unordered): disjoint per-record groups, rollback commutes
   for (auto& [_, refs] : all_records) {
     for (auto it = refs.rbegin(); it != refs.rend(); ++it) {
       const auto& u = it->log->undo[it->pos];

@@ -35,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/phase_annotations.hpp"
 #include "core/exec_log.hpp"
 #include "storage/database.hpp"
 #include "txn/batch.hpp"
@@ -56,7 +57,8 @@ class spec_manager {
   /// executor id). Leaves aborted transactions with txn_status::aborted
   /// and re-committed ones with txn_status::active (the engine epilogue
   /// marks commits). Returns what happened for metrics.
-  recovery_stats recover(txn::batch& b, std::span<exec_logs* const> logs);
+  EPILOGUE_PHASE recovery_stats recover(txn::batch& b,
+                                        std::span<exec_logs* const> logs);
 
   /// Rows dirtied by recovery re-execution; the engine merges these into
   /// the read-committed publish set.

@@ -36,6 +36,7 @@
 
 #include "common/config.hpp"
 #include "common/mutex.hpp"
+#include "common/phase_annotations.hpp"
 #include "common/thread_annotations.hpp"
 #include "core/engine.hpp"
 #include "core/executor.hpp"
@@ -69,19 +70,19 @@ class dist_quecc_engine final : public proto::engine {
   const placement& cluster() const noexcept { return pl_; }
 
  private:
-  void planner_main(worker_id_t p);
-  void executor_main(worker_id_t e);
+  PLAN_PHASE void planner_main(worker_id_t p);
+  EXEC_PHASE void executor_main(worker_id_t e);
 
   /// Ship every planner's remote queue bundles and block until each node
   /// received all bundles addressed to it (one one-way latency, since the
   /// sends overlap). Runs on the last planner to finish a slot.
-  void ship_plan_bundles(std::uint32_t batch_id) REQUIRES(net_mu_);
+  PLAN_PHASE void ship_plan_bundles(std::uint32_t batch_id) REQUIRES(net_mu_);
 
   /// Participants report batch_done to the coordinator; after the global
   /// deterministic epilogue the coordinator broadcasts batch_commit. Both
   /// run on the drain thread.
-  void done_round(std::uint32_t batch_id) REQUIRES(net_mu_);
-  void commit_round(std::uint32_t batch_id) REQUIRES(net_mu_);
+  EPILOGUE_PHASE void done_round(std::uint32_t batch_id) REQUIRES(net_mu_);
+  EPILOGUE_PHASE void commit_round(std::uint32_t batch_id) REQUIRES(net_mu_);
 
   void drain_expected(net::node_id_t node, net::msg_type type,
                       std::size_t expected);

@@ -202,18 +202,28 @@ checkpoint_meta restore_checkpoint(const std::string& path,
     // (home_shard(s) == s), so rows land in the arena they came from.
     for (part_id_t s = 0; s < shards; ++s) {
       const std::uint64_t rows = r.u64();
-      std::unordered_map<key_t, std::span<const std::byte>> snap;
+      // Apply the overwrite/insert pass in *recorded file order*, never in
+      // hash order: inserts allocate slab slots, so the application order
+      // decides rid assignment and therefore the slab order the *next*
+      // checkpoint of this arena serializes. The file order is itself the
+      // slab order at take() time, which also makes restore rebuild the
+      // original rid assignment. The map exists only for the erase-pass
+      // membership test, where iteration order never leaks.
+      std::vector<std::pair<key_t, std::span<const std::byte>>> snap_rows;
+      snap_rows.reserve(rows);
+      std::unordered_map<key_t, std::size_t> snap;
       snap.reserve(rows);
       for (std::uint64_t k = 0; k < rows; ++k) {
         const key_t key = r.u64();
-        snap.emplace(key, r.bytes(row_size));
+        snap_rows.emplace_back(key, r.bytes(row_size));
+        snap.emplace(key, k);
       }
       std::vector<key_t> to_erase;
       t.for_each_live_in(s, [&](key_t key, storage::row_id_t) {
         if (snap.find(key) == snap.end()) to_erase.push_back(key);
       });
       for (key_t key : to_erase) t.erase(key, s);
-      for (const auto& [key, payload] : snap) {
+      for (const auto& [key, payload] : snap_rows) {
         const storage::row_id_t rid = t.lookup(key, s);
         if (rid != storage::kNoRow) {
           std::memcpy(t.row(rid).data(), payload.data(), row_size);

@@ -35,6 +35,7 @@
 #include <optional>
 #include <string>
 
+#include "common/phase_annotations.hpp"
 #include "storage/database.hpp"
 
 namespace quecc::log {
@@ -60,8 +61,10 @@ class checkpointer {
   /// caller rotates the log to that index right after). Requires the
   /// inter-batch quiescent point: no concurrent writers. Old checkpoint
   /// files are pruned once the manifest points at the new one.
-  checkpoint_meta take(const storage::database& db, std::uint32_t batch_id,
-                       std::uint64_t stream_pos, std::uint32_t segment_base);
+  EPILOGUE_PHASE checkpoint_meta take(const storage::database& db,
+                                      std::uint32_t batch_id,
+                                      std::uint64_t stream_pos,
+                                      std::uint32_t segment_base);
 
   const std::string& dir() const noexcept { return dir_; }
 

@@ -21,6 +21,7 @@
 
 #include <string>
 
+#include "common/phase_annotations.hpp"
 #include "log/checkpoint.hpp"
 #include "log/plan_codec.hpp"
 #include "protocols/iface.hpp"
@@ -51,8 +52,9 @@ struct recovery_result {
 /// std::runtime_error / codec_error on corruption that cannot be treated
 /// as a torn tail (bad checkpoint CRC, recorded-hash mismatch, unknown
 /// procedure names).
-recovery_result recover(const std::string& dir, storage::database& db,
-                        proto::engine& eng, const proc_resolver& procs);
+REPLAY_ENTRY recovery_result recover(const std::string& dir,
+                                     storage::database& db, proto::engine& eng,
+                                     const proc_resolver& procs);
 
 /// Resolver over a workload's own procedures (workload::find_procedure).
 proc_resolver resolver_for(wl::workload& w);

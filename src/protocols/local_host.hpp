@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/phase_annotations.hpp"
 #include "storage/database.hpp"
 #include "txn/procedure.hpp"
 
@@ -78,8 +79,8 @@ class inplace_host final : public txn::frag_host {
     undo_.clear();
   }
 
-  std::span<const std::byte> read_row(const txn::fragment& f,
-                                      txn::txn_desc&) override {
+  EXEC_PHASE std::span<const std::byte> read_row(const txn::fragment& f,
+                                                 txn::txn_desc&) override {
     // Partition-local: home arena, no index lock (frag_host contract —
     // conflicting ops on a key are already serialized upstream).
     const auto rid = db_.at(f.table).lookup_local(f.key, f.part);
@@ -87,8 +88,8 @@ class inplace_host final : public txn::frag_host {
     return db_.at(f.table).row(rid);
   }
 
-  std::span<std::byte> update_row(const txn::fragment& f,
-                                  txn::txn_desc&) override {
+  EXEC_PHASE std::span<std::byte> update_row(const txn::fragment& f,
+                                             txn::txn_desc&) override {
     auto& tab = db_.at(f.table);
     const auto rid = tab.lookup_local(f.key, f.part);
     if (rid == storage::kNoRow) return {};
@@ -100,8 +101,8 @@ class inplace_host final : public txn::frag_host {
     return row;
   }
 
-  std::span<std::byte> insert_row(const txn::fragment& f,
-                                  txn::txn_desc&) override {
+  EXEC_PHASE std::span<std::byte> insert_row(const txn::fragment& f,
+                                             txn::txn_desc&) override {
     auto& tab = db_.at(f.table);
     const auto rid = tab.allocate_row(f.part);
     auto row = tab.row(rid);
@@ -116,7 +117,7 @@ class inplace_host final : public txn::frag_host {
     return row;
   }
 
-  bool erase_row(const txn::fragment& f, txn::txn_desc&) override {
+  EXEC_PHASE bool erase_row(const txn::fragment& f, txn::txn_desc&) override {
     auto& tab = db_.at(f.table);
     const auto rid = tab.lookup_local(f.key, f.part);
     if (rid == storage::kNoRow) return false;
@@ -159,6 +160,8 @@ inline void unwind_journal(storage::database& db,
 /// Run one transaction's fragments in index order against `host`.
 /// Returns true when the transaction committed, false on logic abort
 /// (the host has already been rolled back). Leaves txn status set.
-bool run_txn_serially(txn::txn_desc& t, inplace_host& host);
+/// Exec-phase: the serial engines' whole execution stage, and the unit of
+/// re-execution the commit epilogue's speculation recovery reuses.
+EXEC_PHASE bool run_txn_serially(txn::txn_desc& t, inplace_host& host);
 
 }  // namespace quecc::proto

@@ -1,0 +1,23 @@
+// MUST FLAG [nondet]: an exec-phase root reaches a steady_clock read
+// through an unannotated helper. Clock-dependent branches in execution are
+// exactly the replay-divergence bug the determinism contract exists to
+// catch — the helper needs QUECC_NONDET("why") or the clock must go.
+//
+// Analyzed (never compiled) by tests/analyze via tools/quecc-analyze.
+#include <chrono>
+
+#include "common/phase_annotations.hpp"
+
+namespace fx {
+
+// Unannotated helper: traversal passes straight through it.
+inline std::uint64_t helper_latency_probe() {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+EXEC_PHASE void apply_fragment(std::uint64_t& out) {
+  out = helper_latency_probe();
+}
+
+}  // namespace fx

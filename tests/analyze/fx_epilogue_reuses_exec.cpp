@@ -1,0 +1,18 @@
+// MUST PASS: the epilogue calling exec-phase helpers is the one allowed
+// cross-phase direction — speculative recovery re-executes fragments with
+// the execution machinery (spec_manager::recover -> run_txn_serially).
+// Every other cross-phase edge (plan->exec, exec->epilogue, ...) is a
+// violation; see fx_plan_calls_exec.cpp.
+//
+// Analyzed (never compiled) by tests/analyze via tools/quecc-analyze.
+#include "common/phase_annotations.hpp"
+
+namespace fx {
+
+EXEC_PHASE void reexecute_fragment(int seq) { (void)seq; }
+
+EPILOGUE_PHASE void recover_batch(int aborted_seq) {
+  reexecute_fragment(aborted_seq);
+}
+
+}  // namespace fx

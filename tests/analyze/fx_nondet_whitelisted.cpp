@@ -1,0 +1,24 @@
+// MUST PASS: the clock read sits behind a QUECC_NONDET("why") boundary —
+// the audited escape hatch. The analyzer neither traverses into the
+// function nor flags its banned calls; the annotation's reason string is
+// the audit trail.
+//
+// Analyzed (never compiled) by tests/analyze via tools/quecc-analyze.
+#include <chrono>
+#include <cstdint>
+
+#include "common/phase_annotations.hpp"
+
+namespace fx {
+
+QUECC_NONDET("latency stat only; reading never influences results")
+inline std::uint64_t read_stats_clock() {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+EXEC_PHASE void apply_fragment(std::uint64_t& latency_out) {
+  latency_out = read_stats_clock();
+}
+
+}  // namespace fx

@@ -1,0 +1,19 @@
+// MUST FLAG [phase]: a plan-phase function reaches an exec-phase function
+// through an unannotated intermediate. At pipeline depth >= 2 planning
+// overlaps the previous batch's execution, so plan-phase code touching
+// exec-phase machinery (index mutators, row writes) races with it — the
+// PR 4 deferred-resolution rule, here enforced statically.
+//
+// Analyzed (never compiled) by tests/analyze via tools/quecc-analyze.
+#include "common/phase_annotations.hpp"
+
+namespace fx {
+
+EXEC_PHASE void index_insert(int key) { (void)key; }
+
+// Unannotated intermediate: the violation is transitive.
+inline void resolve_eagerly(int key) { index_insert(key); }
+
+PLAN_PHASE void plan_txn(int key) { resolve_eagerly(key); }
+
+}  // namespace fx

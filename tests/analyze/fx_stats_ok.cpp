@@ -1,0 +1,29 @@
+// MUST PASS: clocks and unordered iteration in code that is neither
+// reachable from a determinism root nor feeding a serialization sink.
+// Metrics/reporting code is free to use wall clocks and hash-order
+// iteration — the contract covers only the planned-batch -> replayed-state
+// -> serialized-output path.
+//
+// Analyzed (never compiled) by tests/analyze via tools/quecc-analyze.
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace fx {
+
+inline double sample_elapsed_seconds(
+    std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+inline std::uint64_t sum_counters(
+    const std::unordered_map<std::string, std::uint64_t>& counters) {
+  std::uint64_t total = 0;
+  for (const auto& [name, value] : counters) total += value;
+  return total;
+}
+
+}  // namespace fx

@@ -1,0 +1,30 @@
+// MUST PASS: an unordered iteration in determinism-relevant code with a
+// // quecc-ok(unordered) line justification, and a whole function
+// whitelisted via QUECC_UNORDERED_OK. Both escape hatches must keep the
+// analyzer quiet — and both leave a written claim of order-independence.
+//
+// Analyzed (never compiled) by tests/analyze via tools/quecc-analyze.
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/phase_annotations.hpp"
+
+namespace fx {
+
+EPILOGUE_PHASE void publish_dirty(const std::unordered_set<std::uint64_t>& d,
+                                  std::uint64_t& sum_out) {
+  std::uint64_t sum = 0;
+  // quecc-ok(unordered): sum is commutative, order cannot reach output
+  for (std::uint64_t rid : d) sum += rid;
+  sum_out = sum;
+}
+
+QUECC_UNORDERED_OK("membership count only; iteration order is unobservable")
+EPILOGUE_PHASE std::uint64_t count_dirty(
+    const std::unordered_set<std::uint64_t>& d) {
+  std::uint64_t n = 0;
+  for (std::uint64_t rid : d) n += rid != 0 ? 1 : 1;
+  return n;
+}
+
+}  // namespace fx

@@ -1,0 +1,29 @@
+// MUST FLAG [unordered]: a range-for over an unordered_map in a function
+// whose result feeds the plan codec. Hash iteration order is
+// implementation-defined, so the serialized bytes would differ across
+// stdlibs/runs — sort first, or justify with // quecc-ok(unordered).
+//
+// Analyzed (never compiled) by tests/analyze via tools/quecc-analyze.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace quecc::log {
+// Serialization sink (matches the analyzer's SINKS list by qualified name).
+void encode_batch(const std::vector<std::uint64_t>& vals,
+                  std::vector<unsigned char>& out);
+}  // namespace quecc::log
+
+namespace fx {
+
+inline void serialize_state(
+    const std::unordered_map<std::uint64_t, std::uint64_t>& state,
+    std::vector<unsigned char>& out) {
+  std::vector<std::uint64_t> vals;
+  for (const auto& [key, val] : state) {  // order leaks into the codec
+    vals.push_back(val);
+  }
+  quecc::log::encode_batch(vals, out);
+}
+
+}  // namespace fx
