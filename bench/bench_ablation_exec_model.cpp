@@ -15,6 +15,7 @@
 int main() {
   using namespace quecc;
   const harness::run_options s = benchutil::scaled(5, 2048);
+  benchutil::json_report report("ablation_exec_model");
 
   std::printf(
       "== Ablation: speculative vs conservative execution ==\n"
@@ -44,6 +45,8 @@ int main() {
     const auto ms = benchutil::run_engine("quecc", cfg, make, s);
     cfg.execution = common::exec_model::conservative;
     const auto mc = benchutil::run_engine("quecc", cfg, make, s);
+    report.add("speculative", {{"abort_rate", abort_rate}}, ms);
+    report.add("conservative", {{"abort_rate", abort_rate}}, mc);
 
     table.row({std::to_string(abort_rate),
                harness::format_rate(ms.throughput()),
@@ -56,5 +59,7 @@ int main() {
   std::printf(
       "\nexpect speculative to win at low abort rates (no commit-dependency\n"
       "stalls) and the gap to narrow as cascades eat the advantage.\n");
+  const std::string json = report.write();
+  if (!json.empty()) std::printf("json report: %s\n", json.c_str());
   return 0;
 }

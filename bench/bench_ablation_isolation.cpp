@@ -15,6 +15,7 @@
 int main() {
   using namespace quecc;
   const harness::run_options s = benchutil::scaled(5, 2048);
+  benchutil::json_report report("ablation_isolation");
 
   std::printf(
       "== Ablation: serializable vs read-committed isolation ==\n"
@@ -43,6 +44,8 @@ int main() {
     const auto mser = benchutil::run_engine("quecc", cfg, make, s);
     cfg.iso = common::isolation::read_committed;
     const auto mrc = benchutil::run_engine("quecc", cfg, make, s);
+    report.add("serializable", {{"read_ratio", read_ratio}}, mser);
+    report.add("read-committed", {{"read_ratio", read_ratio}}, mrc);
 
     table.row({std::to_string(read_ratio),
                harness::format_rate(mser.throughput()),
@@ -54,5 +57,7 @@ int main() {
   std::printf(
       "\nread-committed shines as the read share grows: reads leave the\n"
       "hot conflict queues and spread across executors.\n");
+  const std::string json = report.write();
+  if (!json.empty()) std::printf("json report: %s\n", json.c_str());
   return 0;
 }

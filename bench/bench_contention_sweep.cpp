@@ -10,6 +10,7 @@
 int main() {
   using namespace quecc;
   const harness::run_options s = benchutil::scaled(4, 2048);
+  benchutil::json_report report("contention_sweep");
 
   std::printf(
       "== Contention sweep: YCSB zipf theta 0 -> 0.99 ==\n"
@@ -42,6 +43,7 @@ int main() {
     std::uint64_t quecc_cc = 0, nd_cc = 0;
     for (const char* name : engines) {
       const auto m = benchutil::run_engine(name, cfg, make, s);
+      report.add(name, {{"theta", theta}}, m);
       cells.push_back(harness::format_rate(m.throughput()));
       if (std::string(name) == "quecc") {
         quecc_cc = m.cc_aborts;
@@ -57,5 +59,7 @@ int main() {
   std::printf(
       "\nquecc's cc-abort column stays zero by construction; the classical\n"
       "protocols' retries climb with theta and drag their throughput down.\n");
+  const std::string json = report.write();
+  if (!json.empty()) std::printf("json report: %s\n", json.c_str());
   return 0;
 }

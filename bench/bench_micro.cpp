@@ -2,6 +2,11 @@
 // the hot-path costs that the experiment benches aggregate.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/spinlock.hpp"
@@ -220,4 +225,33 @@ BENCHMARK(BM_StateHash);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN: console output for humans plus a
+// google-benchmark JSON report at BENCH_micro.json (next to the
+// quecc-bench-v1 files the experiment benches emit, honoring
+// $QUECC_BENCH_JSON_DIR). An explicit --benchmark_out on the command
+// line wins over the injected default.
+int main(int argc, char** argv) {
+  const char* dir = std::getenv("QUECC_BENCH_JSON_DIR");
+  const std::string path =
+      std::string(dir && *dir ? dir : ".") + "/BENCH_micro.json";
+  std::string out_flag = "--benchmark_out=" + path;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  std::vector<char*> args(argv, argv + argc);
+  bool user_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      user_out = true;
+    }
+  }
+  if (!user_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  if (!user_out) std::printf("json report: %s\n", path.c_str());
+  benchmark::Shutdown();
+  return 0;
+}

@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   const bool durable_mode =
       argc > 1 && std::strcmp(argv[1], "--durable") == 0;
   const harness::run_options s = benchutil::scaled(8, 1024);
+  benchutil::json_report report("open_loop");
 
   auto make = []() -> std::unique_ptr<wl::workload> {
     wl::ycsb_config w;
@@ -79,6 +80,9 @@ int main(int argc, char** argv) {
       c.log_dir = log_dir->path;
     }
     const auto m = benchutil::run_engine("quecc", c, make, o);
+    report.add(std::string(durable ? "durable" : "memory") + " load " +
+                   std::to_string(frac),
+               {{"offered_frac", frac}, {"durable", durable ? 1.0 : 0.0}}, m);
     table.row({durable ? "durable" : "memory",
                harness::format_rate(o.offered_load_tps),
                harness::format_rate(m.throughput()),
@@ -103,5 +107,7 @@ int main(int argc, char** argv) {
         "acking (group commit): the e2e gap vs the memory rows is the\n"
         "price of durability; exec latency is untouched.\n");
   }
+  const std::string json = report.write();
+  if (!json.empty()) std::printf("json report: %s\n", json.c_str());
   return 0;
 }

@@ -11,6 +11,7 @@
 int main() {
   using namespace quecc;
   const bool quick = std::getenv("QUECC_BENCH_QUICK") != nullptr;
+  benchutil::json_report report("scaling");
 
   std::printf("== Scaling: batch size and P/E geometry ==\n\n");
 
@@ -34,6 +35,7 @@ int main() {
       const std::uint32_t batches = quick ? 2 : (1u << 16) / bs + 2;
       const auto m = benchutil::run_engine(
           "quecc", cfg, make, harness::run_options{batches, bs});
+      report.add("batch size " + std::to_string(bs), {{"batch_size", bs}}, m);
       char p50[32], p99[32];
       std::snprintf(p50, sizeof p50, "%.1fms",
                     m.txn_latency.percentile_nanos(50) / 1e6);
@@ -61,6 +63,8 @@ int main() {
                                            benchutil::scaled(4, 4096));
       char label[32];
       std::snprintf(label, sizeof label, "%dx%d", p, e);
+      report.add(std::string("geometry ") + label,
+                 {{"planners", p}, {"executors", e}}, m);
       table.row({label, harness::format_rate(m.throughput())});
     }
     std::printf("\n-- planner/executor geometry (batch=4096) --\n");
@@ -70,5 +74,7 @@ int main() {
   std::printf(
       "\nbigger batches amortize the per-batch barriers (throughput up,\n"
       "latency up); thread scaling is bounded by this host's cores.\n");
+  const std::string json = report.write();
+  if (!json.empty()) std::printf("json report: %s\n", json.c_str());
   return 0;
 }

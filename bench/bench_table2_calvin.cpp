@@ -18,6 +18,7 @@
 int main() {
   using namespace quecc;
   const harness::run_options s = benchutil::scaled(5, 2048);
+  benchutil::json_report report("table2_calvin");
 
   std::printf(
       "== Table 2 / row 2: QueCC-D vs Calvin, distributed YCSB ==\n"
@@ -50,6 +51,8 @@ int main() {
 
     const auto mq = benchutil::run_engine("dist-quecc", cfg, make, s);
     const auto mc = benchutil::run_engine("dist-calvin", cfg, make, s);
+    report.add("dist-quecc", {{"dist_ratio", dist_ratio}, {"nodes", 4}}, mq);
+    report.add("dist-calvin", {{"dist_ratio", dist_ratio}, {"nodes", 4}}, mc);
 
     table.row({std::to_string(dist_ratio),
                harness::format_rate(mq.throughput()),
@@ -63,5 +66,7 @@ int main() {
       "\npaper claim: 22x on low-contention uniform YCSB; expect the\n"
       "speedup to grow with the distributed-transaction share as Calvin's\n"
       "per-transaction messaging dominates (compare the msgs columns).\n");
+  const std::string json = report.write();
+  if (!json.empty()) std::printf("json report: %s\n", json.c_str());
   return 0;
 }

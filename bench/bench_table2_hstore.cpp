@@ -17,6 +17,7 @@
 int main() {
   using namespace quecc;
   const harness::run_options s = benchutil::scaled(6, 2048);
+  benchutil::json_report report("table2_hstore");
 
   std::printf(
       "== Table 2 / row 1: QueCC vs H-Store, YCSB multi-partition ==\n"
@@ -47,6 +48,8 @@ int main() {
 
     const auto mq = benchutil::run_engine("quecc", qcfg, make, s);
     const auto mh = benchutil::run_engine("hstore", hcfg, make, s);
+    report.add("quecc", {{"mp_ratio", mp}}, mq);
+    report.add("hstore", {{"mp_ratio", mp}}, mh);
 
     table.row({std::to_string(mp), harness::format_rate(mq.throughput()),
                harness::format_rate(mh.throughput()),
@@ -58,5 +61,7 @@ int main() {
       "\npaper claim: two orders of magnitude on multi-partition YCSB;\n"
       "expect the speedup column to grow from ~1x at mp=0 toward >=100x\n"
       "as the multi-partition share rises.\n");
+  const std::string json = report.write();
+  if (!json.empty()) std::printf("json report: %s\n", json.c_str());
   return 0;
 }

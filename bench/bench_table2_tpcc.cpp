@@ -18,6 +18,7 @@
 int main() {
   using namespace quecc;
   const harness::run_options s = benchutil::scaled(6, 1024);
+  benchutil::json_report report("table2_tpcc");
 
   std::printf(
       "== Table 2 / row 3: QueCC vs non-deterministic protocols, TPC-C ==\n"
@@ -42,6 +43,7 @@ int main() {
   auto run_row = [&](const std::string& label, const char* engine,
                      const common::config& cfg) {
     const auto m = benchutil::run_engine(engine, cfg, make, s);
+    report.add(label, {{"warehouses", 1}}, m);
     if (label.rfind("quecc", 0) == 0) {
       best_quecc = std::max(best_quecc, m.throughput());
     } else if (label != "serial") {
@@ -86,5 +88,7 @@ int main() {
       "gap — the classical protocols see little physical concurrency, so\n"
       "their abort/retry machinery is rarely triggered).\n",
       harness::format_factor(best_quecc / std::max(1.0, best_nd)).c_str());
+  const std::string json = report.write();
+  if (!json.empty()) std::printf("json report: %s\n", json.c_str());
   return 0;
 }

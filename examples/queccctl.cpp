@@ -8,6 +8,15 @@
 //            [--arrival-rate TPS] [--batch-deadline-us N]
 //            [--log-dir DIR] [--durable] [--recover]
 //            [--checkpoint-every N] [--group-commit-us N] [--list]
+//            [--metrics-json[=FILE]] [--trace-out=FILE]
+//
+// Observability: --metrics-json dumps the run summary plus the full obs
+// registry scrape (counters/gauges/histograms, src/obs/metrics.hpp) as one
+// JSON document — to stdout, or to FILE with --metrics-json=FILE.
+// --trace-out=FILE enables span tracing for the run and writes a Chrome
+// trace-event file (load it in chrome://tracing or https://ui.perfetto.dev)
+// with one lane per recording thread; at --pipeline-depth >= 2 the
+// plan(i+1)/exec(i) overlap is directly visible as overlapping spans.
 //
 // --arrival-rate TPS switches from closed-loop batch replay to the
 // open-loop client path: batches*batch-size transactions arrive as a
@@ -43,11 +52,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <string>
 
 #include "common/rng.hpp"
+#include "harness/report.hpp"
 #include "harness/runner.hpp"
 #include "log/recovery.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "protocols/iface.hpp"
 #include "workload/bank.hpp"
 #include "workload/tpcc.hpp"
@@ -70,6 +85,8 @@ struct options {
   std::uint64_t seed = 42;
   double arrival_rate = 0.0;  ///< txn/s; > 0 selects the open-loop path
   bool recover = false;       ///< recover from cfg.log_dir, then resume
+  std::string metrics_json;   ///< "-" = stdout; empty = disabled
+  std::string trace_out;      ///< Chrome trace file; empty = disabled
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -131,6 +148,14 @@ bool parse(options& o, int argc, char** argv) {
     } else if (a == "--group-commit-us") {
       o.cfg.group_commit_micros =
           static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (a == "--metrics-json") {
+      o.metrics_json = "-";
+    } else if (a.rfind("--metrics-json=", 0) == 0) {
+      o.metrics_json = a.substr(std::strlen("--metrics-json="));
+    } else if (a == "--trace-out") {
+      o.trace_out = need(i);
+    } else if (a.rfind("--trace-out=", 0) == 0) {
+      o.trace_out = a.substr(std::strlen("--trace-out="));
     } else if (a == "--theta") {
       o.theta = std::atof(need(i));
     } else if (a == "--read-ratio") {
@@ -183,6 +208,63 @@ std::unique_ptr<wl::workload> make_workload(const options& o) {
   std::exit(2);
 }
 
+// One JSON document: the run configuration, the run's metrics, and the
+// full obs registry scrape (counters/gauges/histograms).
+void write_metrics_doc(std::ostream& os, const options& o,
+                       const common::run_metrics& m, std::uint64_t hash) {
+  obs::json_writer w(os);
+  w.begin_object();
+  w.kv("schema", "quecc-metrics-v1");
+  w.kv("engine", o.engine);
+  w.kv("workload", o.workload);
+  w.kv("batches", o.batches);
+  w.kv("batch_size", o.batch_size);
+  w.kv("pipeline_depth", o.cfg.pipeline_depth);
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(hash));
+  w.kv("state_hash", buf);
+  w.key("run");
+  harness::write_run_metrics_json(w, m);
+  obs::write_metrics_sections(w);
+  w.end_object();
+  os << '\n';
+}
+
+// Human-readable report lines move to stderr when the metrics document
+// owns stdout, so `--metrics-json | jq` style pipes see pure JSON.
+FILE* report_stream(const options& o) {
+  return o.metrics_json == "-" ? stderr : stdout;
+}
+
+// --metrics-json / --trace-out emission after a run (normal or recovery).
+int emit_observability(const options& o, const common::run_metrics& m,
+                       std::uint64_t hash) {
+  if (!o.metrics_json.empty()) {
+    if (o.metrics_json == "-") {
+      write_metrics_doc(std::cout, o, m, hash);
+    } else {
+      std::ofstream out(o.metrics_json);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", o.metrics_json.c_str());
+        return 1;
+      }
+      write_metrics_doc(out, o, m, hash);
+    }
+  }
+  if (!o.trace_out.empty()) {
+    std::ofstream out(o.trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", o.trace_out.c_str());
+      return 1;
+    }
+    obs::write_chrome_trace(out);
+    std::fprintf(stderr, "trace written: %s (chrome://tracing, perfetto)\n",
+                 o.trace_out.c_str());
+  }
+  return 0;
+}
+
 // Recover from o.cfg.log_dir, resume the remainder of the deterministic
 // stream, and print the final state hash — identical to what an
 // uninterrupted run with the same flags would have printed.
@@ -210,7 +292,8 @@ int run_recovery(options& o) {
     std::fprintf(stderr, "recovery failed: %s\n", e.what());
     return 1;
   }
-  std::printf(
+  std::fprintf(
+      report_stream(o),
       "recovered: checkpoint=%s replayed=%u skipped=%u torn_tail=%s "
       "txns=%" PRIu64 "\n",
       rec.checkpoint_loaded ? "yes" : "no", rec.batches_replayed,
@@ -254,12 +337,12 @@ int run_recovery(options& o) {
   }
   resumed->sync_durable();
   if (total > rec.txns_applied) {
-    std::printf("resumed durably: %" PRIu64 " remaining txns\n",
-                total - rec.txns_applied);
+    std::fprintf(report_stream(o), "resumed durably: %" PRIu64 " remaining txns\n",
+                 total - rec.txns_applied);
   }
-  std::printf("state hash: %016llx\n",
-              static_cast<unsigned long long>(db.state_hash()));
-  return 0;
+  std::fprintf(report_stream(o), "state hash: %016llx\n",
+               static_cast<unsigned long long>(db.state_hash()));
+  return emit_observability(o, m, db.state_hash());
 }
 
 }  // namespace
@@ -267,6 +350,10 @@ int run_recovery(options& o) {
 int main(int argc, char** argv) {
   options o;
   if (!parse(o, argc, argv)) return 0;
+
+  // Enable span recording before any engine thread spins up so the whole
+  // run (recovery replay included) lands in the trace.
+  if (!o.trace_out.empty()) obs::set_tracing_enabled(true);
 
   if (o.recover) {
     if (o.cfg.log_dir.empty()) {
@@ -288,9 +375,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::printf("engine=%s workload=%s batches=%u batch=%u %s\n", o.engine.c_str(),
-              o.workload.c_str(), o.batches, o.batch_size,
-              o.cfg.describe().c_str());
+  std::fprintf(report_stream(o), "engine=%s workload=%s batches=%u batch=%u %s\n",
+               o.engine.c_str(), o.workload.c_str(), o.batches, o.batch_size,
+               o.cfg.describe().c_str());
 
   harness::run_options opts;
   opts.batches = o.batches;
@@ -302,12 +389,15 @@ int main(int argc, char** argv) {
   if (o.arrival_rate > 0) {
     opts.mode = harness::arrival_mode::open_loop;
     opts.offered_load_tps = o.arrival_rate;
-    std::printf("open loop: %" PRIu64 " txns offered at %.0f txn/s\n",
-                opts.total_txns(), o.arrival_rate);
+    std::fprintf(report_stream(o), "open loop: %" PRIu64 " txns offered at %.0f txn/s\n",
+                 opts.total_txns(), o.arrival_rate);
   }
   const auto res = harness::run_workload(*eng, *w, db, opts);
-  std::puts(res.metrics.summary(o.engine).c_str());
-  std::printf("state hash: %016llx\n",
-              static_cast<unsigned long long>(res.final_state_hash));
-  return 0;
+  std::fprintf(report_stream(o), "%s\n", res.metrics.summary(o.engine).c_str());
+  std::fprintf(report_stream(o), "state hash: %016llx\n",
+               static_cast<unsigned long long>(res.final_state_hash));
+  // Engine teardown first: exporters are quiescent-point operations, and
+  // the trace should include the final batches' epilogue spans.
+  eng.reset();
+  return emit_observability(o, res.metrics, res.final_state_hash);
 }

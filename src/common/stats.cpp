@@ -16,10 +16,6 @@ std::size_t bucket_of(std::uint64_t ns) noexcept {
   return std::min(b, latency_histogram::kBuckets - 1);
 }
 
-/// Geometric midpoint of bucket b = [2^b, 2^(b+1)).
-double bucket_mid(std::size_t b) noexcept {
-  return std::ldexp(1.5, static_cast<int>(b));
-}
 }  // namespace
 
 void latency_histogram::record_nanos(std::uint64_t ns) noexcept {
@@ -34,6 +30,14 @@ void latency_histogram::merge(const latency_histogram& other) noexcept {
   sum_ += other.sum_;
 }
 
+void latency_histogram::merge_bucket_counts(const std::uint64_t* buckets,
+                                            std::uint64_t count,
+                                            std::uint64_t sum_ns) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += buckets[i];
+  count_ += count;
+  sum_ += sum_ns;
+}
+
 void latency_histogram::reset() noexcept {
   buckets_.fill(0);
   count_ = 0;
@@ -45,16 +49,31 @@ double latency_histogram::mean_nanos() const noexcept {
                      : static_cast<double>(sum_) / static_cast<double>(count_);
 }
 
+double latency_histogram::bucket_lower_nanos(std::size_t b) noexcept {
+  return b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b));
+}
+
 double latency_histogram::percentile_nanos(double q) const noexcept {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 100.0);
   const double rank = q / 100.0 * static_cast<double>(count_ - 1);
-  std::uint64_t seen = 0;
+  std::uint64_t before = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
-    seen += buckets_[i];
-    if (static_cast<double>(seen) > rank) return bucket_mid(i);
+    const std::uint64_t n = buckets_[i];
+    if (n == 0) continue;
+    if (static_cast<double>(before + n) > rank) {
+      // Interpolate within bucket [lower, upper): the rank's position
+      // among the bucket's n samples, each placed at its interval
+      // midpoint — a lone sample lands on the bucket's linear midpoint.
+      const double lo = bucket_lower_nanos(i);
+      const double hi = std::ldexp(1.0, static_cast<int>(i) + 1);
+      const double frac =
+          (rank - static_cast<double>(before) + 0.5) / static_cast<double>(n);
+      return lo + frac * (hi - lo);
+    }
+    before += n;
   }
-  return bucket_mid(kBuckets - 1);
+  return bucket_lower_nanos(kBuckets - 1);  // unreachable: count_ > 0
 }
 
 std::string latency_histogram::summary() const {

@@ -65,12 +65,33 @@ class latency_histogram {
   static constexpr std::size_t kBuckets = 64;
 
   void record_nanos(std::uint64_t ns) noexcept;
+  /// Bucket-wise addition. Merging an empty histogram is a no-op; merging
+  /// into an empty histogram reproduces `other` exactly (pinned by
+  /// tests/test_common.cpp).
   void merge(const latency_histogram& other) noexcept;
+  /// Raw-bucket merge for external per-thread shards (the obs registry
+  /// aggregates atomic bucket cells into a plain histogram on scrape).
+  /// `buckets` must point at kBuckets counts laid out like buckets_.
+  void merge_bucket_counts(const std::uint64_t* buckets, std::uint64_t count,
+                           std::uint64_t sum_ns) noexcept;
   void reset() noexcept;
 
   std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum_nanos() const noexcept { return sum_; }
+  std::uint64_t bucket_count(std::size_t b) const noexcept {
+    return buckets_[b];
+  }
+  /// Lower bound of bucket b: 0 for b == 0, else 2^b nanoseconds. Bucket b
+  /// holds samples in [lower, 2^(b+1)) (the last bucket also absorbs
+  /// anything larger).
+  static double bucket_lower_nanos(std::size_t b) noexcept;
   double mean_nanos() const noexcept;
-  /// Percentile in nanoseconds, q in [0, 100]. Returns bucket midpoints.
+  /// Percentile in nanoseconds, q clamped to [0, 100]. The rank is placed
+  /// by linear interpolation *within* its log bucket (rank r among a
+  /// bucket's n samples sits at the (r + 0.5)/n point of the bucket's
+  /// span), so a single sample reports the bucket's linear midpoint and
+  /// quantiles move smoothly instead of jumping between bucket midpoints.
+  /// Exact values are still bucket-resolution estimates.
   double percentile_nanos(double q) const noexcept;
 
   std::string summary() const;

@@ -3,7 +3,22 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace quecc::core {
+
+namespace {
+// Admission metric handles, shared by both submit paths and the former.
+const obs::counter& admitted_total() {
+  static const obs::counter c("admission.admitted_total");
+  return c;
+}
+const obs::gauge& queue_depth_gauge() {
+  static const obs::gauge g("admission.queue_depth");
+  return g;
+}
+}  // namespace
 
 admission_queue::admission_queue(std::size_t capacity,
                                  std::uint32_t session_cap)
@@ -20,11 +35,17 @@ bool admission_queue::submit(admitted_txn t) {
   if (t.submit_nanos == 0) t.submit_nanos = common::now_nanos();
   common::mutex_lock lk(mu_);
   while (!has_room(t) && !closed_) not_full_.wait(lk);
-  if (closed_) return false;
+  if (closed_) {
+    static const obs::counter rejected("admission.rejected_closed_total");
+    rejected.inc();
+    return false;
+  }
   if (session_cap_ != 0) ++per_session_[t.client];
   q_.push_back(std::move(t));
   ++admitted_;
+  queue_depth_gauge().set(static_cast<std::int64_t>(q_.size()));
   lk.unlock();
+  admitted_total().inc();
   not_empty_.notify_one();
   return true;
 }
@@ -32,12 +53,18 @@ bool admission_queue::submit(admitted_txn t) {
 bool admission_queue::try_submit(admitted_txn& t) {
   {
     common::mutex_lock lk(mu_);
-    if (closed_ || !has_room(t)) return false;
+    if (closed_ || !has_room(t)) {
+      static const obs::counter rejected("admission.rejected_full_total");
+      rejected.inc();
+      return false;
+    }
     if (t.submit_nanos == 0) t.submit_nanos = common::now_nanos();
     if (session_cap_ != 0) ++per_session_[t.client];
     q_.push_back(std::move(t));
     ++admitted_;
+    queue_depth_gauge().set(static_cast<std::int64_t>(q_.size()));
   }
+  admitted_total().inc();
   not_empty_.notify_one();
   return true;
 }
@@ -73,6 +100,7 @@ std::vector<admitted_txn> admission_queue::pop_batch(
     // deadline wait: the capacity just freed lets them refill the batch
     // now, not a whole deadline later.
     if (drained) not_full_.notify_all();
+    queue_depth_gauge().set(static_cast<std::int64_t>(q_.size()));
     if (out.size() >= max || closed_) break;
     bool have = false;
     while (!(have = !q_.empty() || closed_)) {
@@ -82,7 +110,12 @@ std::vector<admitted_txn> admission_queue::pop_batch(
       }
     }
     if (have) continue;  // new arrivals (or close): collect them
-    break;               // deadline fired: close the partial batch
+    // Deadline fired: close the partial batch (the trickle-latency bound
+    // the file header describes doing real work).
+    static const obs::counter deadline_closed(
+        "admission.deadline_closed_batches_total");
+    deadline_closed.inc();
+    break;
   }
   return out;
 }
@@ -118,11 +151,14 @@ std::uint64_t admission_queue::admitted() const {
 }
 
 batch_former::formed batch_former::next() {
+  const std::uint64_t t0 = common::now_nanos();
   auto entries = q_.pop_batch(batch_size_, deadline_micros_);
   formed f;
   if (entries.empty()) return f;  // queue closed and drained
 
   f.valid = true;
+  static const obs::counter formed_total("admission.batches_formed_total");
+  formed_total.inc();
   // relaxed: single consumer allocates ids; nothing is published through it.
   f.batch.set_id(next_id_.fetch_add(1, std::memory_order_relaxed));
   f.tickets.reserve(entries.size());
@@ -136,6 +172,8 @@ batch_former::formed batch_former::next() {
     f.tickets.push_back(std::move(e.ticket));
     f.submit_nanos.push_back(e.submit_nanos);
   }
+  obs::record_span(obs::trace_stage::admission, t0, common::now_nanos() - t0,
+                   f.batch.id());
   return f;
 }
 

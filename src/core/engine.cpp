@@ -8,6 +8,8 @@
 #include "log/checkpoint.hpp"
 #include "log/log_writer.hpp"
 #include "log/plan_codec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace quecc::core {
 
@@ -120,10 +122,14 @@ void quecc_engine::planner_main(worker_id_t p) {
     batch_slot& s = *pipe_.slots[n % cfg_.pipeline_depth];
     const std::uint64_t t0 = common::now_nanos();
     pipe_.planners[p].plan(*s.batch, s.plan_outs[p]);
+    const std::uint64_t t1 = common::now_nanos();
+    static const obs::histogram plan_busy("engine.plan_busy_nanos");
+    plan_busy.record_nanos(t1 - t0);
+    obs::record_span(obs::trace_stage::plan, t0, t1 - t0, s.batch->id(),
+                     static_cast<std::uint32_t>(n % cfg_.pipeline_depth));
     // relaxed: stat counter; read at the drain quiescent point, ordered by
     // the plan_pending acq_rel countdown below.
-    s.plan_busy_nanos.fetch_add(common::now_nanos() - t0,
-                                std::memory_order_relaxed);
+    s.plan_busy_nanos.fetch_add(t1 - t0, std::memory_order_relaxed);
     if (s.plan_pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       common::mutex_lock lk(mu_);
       s.ready_nanos = common::now_nanos();
@@ -167,10 +173,14 @@ void quecc_engine::executor_main(worker_id_t e) {
     if (!s.read_queues.empty()) {
       ex.run_read_queues(s.read_queues, s.read_cursor);
     }
+    const std::uint64_t t1 = common::now_nanos();
+    static const obs::histogram exec_busy("engine.exec_busy_nanos");
+    exec_busy.record_nanos(t1 - t0);
+    obs::record_span(obs::trace_stage::exec, t0, t1 - t0, s.batch->id(),
+                     static_cast<std::uint32_t>(n % cfg_.pipeline_depth));
     // relaxed: stat counter; read at the drain quiescent point, ordered by
     // the exec_pending acq_rel countdown below.
-    s.exec_busy_nanos.fetch_add(common::now_nanos() - t0,
-                                std::memory_order_relaxed);
+    s.exec_busy_nanos.fetch_add(t1 - t0, std::memory_order_relaxed);
     if (s.exec_pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       common::mutex_lock lk(mu_);
       s.exec_end_nanos = common::now_nanos();
@@ -241,6 +251,12 @@ bool quecc_engine::drain_batch() {
   // log even while later batches' records interleave between them.
   if (wal_) log_commit_record(b);
   const std::uint64_t epi1 = common::now_nanos();
+  static const obs::histogram epi_hist("engine.epilogue_nanos");
+  epi_hist.record_nanos(epi1 - epi0);
+  static const obs::counter drained_ctr("engine.batches_drained_total");
+  drained_ctr.inc();
+  obs::record_span(obs::trace_stage::epilogue, epi0, epi1 - epi0, b.id(),
+                   static_cast<std::uint32_t>(n % cfg_.pipeline_depth));
 
   // Per-slot phase stats (the engine-wide snapshot is only ever written
   // here, on the single drain thread).
@@ -318,6 +334,14 @@ recovery_stats batch_epilogue(
     for (auto& ex : executors) logs.push_back(&ex->logs());
     rec = spec.recover(b, logs);
     m.cc_aborts += rec.cascades;
+    static const obs::counter recoveries("spec.recoveries_total");
+    static const obs::counter cascades("spec.cascade_aborts_total");
+    static const obs::counter reexec("spec.reexecutions_total");
+    static const obs::counter redo("spec.full_redo_total");
+    recoveries.inc();
+    cascades.inc(rec.cascades);
+    reexec.inc(rec.reexecuted);
+    if (rec.full_redo) redo.inc();
   }
 
   for (auto& t : b) {
@@ -354,9 +378,12 @@ recovery_stats batch_epilogue(
 }
 
 void quecc_engine::log_batch_record(const txn::batch& b) {
+  const std::uint64_t t0 = common::now_nanos();
   std::vector<std::byte> payload;
   log::encode_batch(b, payload);
   wal_->append(log::record_type::batch, payload);
+  obs::record_span(obs::trace_stage::log_append, t0,
+                   common::now_nanos() - t0, b.id());
 }
 
 void quecc_engine::log_commit_record(const txn::batch& b) {

@@ -5,6 +5,8 @@
 
 #include "common/spinlock.hpp"
 #include "common/thread_util.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace quecc::dist {
 
@@ -72,9 +74,13 @@ void dist_quecc_engine::planner_main(worker_id_t p) {
     core::batch_slot& s = *pipe_.slots[n % cfg_.pipeline_depth];
     const std::uint64_t t0 = common::now_nanos();
     pipe_.planners[p].plan(*s.batch, s.plan_outs[p]);
+    const std::uint64_t t1 = common::now_nanos();
+    static const obs::histogram plan_busy("engine.plan_busy_nanos");
+    plan_busy.record_nanos(t1 - t0);
+    obs::record_span(obs::trace_stage::plan, t0, t1 - t0, s.batch->id(),
+                     static_cast<std::uint32_t>(n % cfg_.pipeline_depth));
     // relaxed: stat counter, read at the drain quiescent point.
-    s.plan_busy_nanos.fetch_add(common::now_nanos() - t0,
-                                std::memory_order_relaxed);
+    s.plan_busy_nanos.fetch_add(t1 - t0, std::memory_order_relaxed);
     if (s.plan_pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last planner of the slot ships every remote bundle before marking
       // the batch ready, so this node's executors (and every other's)
@@ -118,9 +124,13 @@ void dist_quecc_engine::executor_main(worker_id_t e) {
     if (!s.read_queues.empty()) {
       ex.run_read_queues(s.read_queues, s.read_cursor);
     }
+    const std::uint64_t t1 = common::now_nanos();
+    static const obs::histogram exec_busy("engine.exec_busy_nanos");
+    exec_busy.record_nanos(t1 - t0);
+    obs::record_span(obs::trace_stage::exec, t0, t1 - t0, s.batch->id(),
+                     static_cast<std::uint32_t>(n % cfg_.pipeline_depth));
     // relaxed: stat counter, read at the drain quiescent point.
-    s.exec_busy_nanos.fetch_add(common::now_nanos() - t0,
-                                std::memory_order_relaxed);
+    s.exec_busy_nanos.fetch_add(t1 - t0, std::memory_order_relaxed);
     if (s.exec_pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       common::mutex_lock lk(mu_);
       s.exec_end_nanos = common::now_nanos();
@@ -224,12 +234,20 @@ bool dist_quecc_engine::drain_batch() {
   // epilogue (speculative recovery + status marking) runs once globally —
   // the paradigm's "no 2PC" commit. Executors for the next batch wait on
   // drained_, so this is the per-slot inter-batch quiescent point.
+  const std::uint64_t epi0 = common::now_nanos();
   core::batch_epilogue(db_, cfg_, b, pipe_.executors, spec_,
                        committed_.get(), m);
   if (pl_.nodes > 1) {
     common::mutex_lock nl(net_mu_);
     commit_round(b.id());
   }
+  const std::uint64_t epi1 = common::now_nanos();
+  static const obs::histogram epi_hist("engine.epilogue_nanos");
+  epi_hist.record_nanos(epi1 - epi0);
+  static const obs::counter drained_ctr("engine.batches_drained_total");
+  drained_ctr.inc();
+  obs::record_span(obs::trace_stage::epilogue, epi0, epi1 - epi0, b.id(),
+                   static_cast<std::uint32_t>(n % cfg_.pipeline_depth));
 
   m.batches += 1;
   // relaxed: quiescent point — workers finished under mu_ (see engine.cpp).

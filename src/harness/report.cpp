@@ -4,6 +4,9 @@
 #include <iomanip>
 #include <sstream>
 
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
 namespace quecc::harness {
 
 table_printer::table_printer(std::vector<std::string> headers)
@@ -74,6 +77,28 @@ std::string format_pipeline(const common::run_metrics& m,
      << pct(m.pipeline_overlap_seconds, m.exec_busy_seconds)
      << "% of exec";
   return os.str();
+}
+
+void write_run_metrics_json(obs::json_writer& w,
+                            const common::run_metrics& m) {
+  w.begin_object();
+  w.kv("throughput_tps", m.throughput());
+  w.kv("committed", m.committed);
+  w.kv("user_aborts", m.aborted);
+  w.kv("cc_aborts", m.cc_aborts);
+  w.kv("batches", m.batches);
+  w.kv("messages", m.messages);
+  w.kv("elapsed_seconds", m.elapsed_seconds);
+  w.kv("plan_busy_seconds", m.plan_busy_seconds);
+  w.kv("exec_busy_seconds", m.exec_busy_seconds);
+  w.kv("pipeline_overlap_seconds", m.pipeline_overlap_seconds);
+  w.key("txn_latency");
+  obs::write_histogram_json(w, m.txn_latency);
+  w.key("queue_latency");
+  obs::write_histogram_json(w, m.queue_latency);
+  w.key("e2e_latency");
+  obs::write_histogram_json(w, m.e2e_latency);
+  w.end_object();
 }
 
 }  // namespace quecc::harness

@@ -8,6 +8,10 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
+namespace quecc::obs {
+class json_writer;
+}  // namespace quecc::obs
+
 namespace quecc::harness {
 
 /// Fixed-width text table. Collect rows, then str()/print().
@@ -40,5 +44,13 @@ std::string format_factor(double factor);
 std::string format_pipeline(const common::run_metrics& m,
                             worker_id_t planner_threads,
                             worker_id_t executor_threads);
+
+/// Serialize one run's metrics as a JSON object value (throughput, commit
+/// and abort counts, stage busy times, and the three latency histograms in
+/// the obs::write_histogram_json shape). The caller owns the surrounding
+/// document: call inside an object after w.key(...), or at the root. The
+/// machine-readable twin of run_metrics::summary() — `queccctl
+/// --metrics-json` and the bench BENCH_<name>.json reports both embed it.
+void write_run_metrics_json(obs::json_writer& w, const common::run_metrics& m);
 
 }  // namespace quecc::harness

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 #include "protocols/session.hpp"
 
 namespace quecc::harness {
@@ -133,9 +134,18 @@ run_result run_open_loop(proto::engine& eng, wl::workload& w,
 
 run_result run_workload(proto::engine& eng, wl::workload& w,
                         storage::database& db, const run_options& opts) {
-  return opts.mode == arrival_mode::open_loop
-             ? run_open_loop(eng, w, db, opts)
-             : run_closed_loop(eng, w, db, opts);
+  run_result out = opts.mode == arrival_mode::open_loop
+                       ? run_open_loop(eng, w, db, opts)
+                       : run_closed_loop(eng, w, db, opts);
+  // Per-engine outcome counters at the one choke point every protocol
+  // passes through: name-spaced on engine::name() so a comparison run
+  // (e.g. table2) reports each engine's commits/aborts separately.
+  const std::string prefix = std::string("engine.") + eng.name();
+  obs::counter(prefix + ".committed_total").inc(out.metrics.committed);
+  obs::counter(prefix + ".user_aborts_total").inc(out.metrics.aborted);
+  obs::counter(prefix + ".cc_aborts_total").inc(out.metrics.cc_aborts);
+  obs::counter(prefix + ".batches_total").inc(out.metrics.batches);
+  return out;
 }
 
 }  // namespace quecc::harness

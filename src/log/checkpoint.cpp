@@ -12,8 +12,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "log/plan_codec.hpp"
 #include "log/wire.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace quecc::log {
 
@@ -69,6 +72,7 @@ checkpoint_meta checkpointer::take(const storage::database& db,
                                    std::uint32_t batch_id,
                                    std::uint64_t stream_pos,
                                    std::uint32_t segment_base) {
+  const std::uint64_t t0 = common::now_nanos();
   checkpoint_meta meta;
   meta.batch_id = batch_id;
   meta.stream_pos = stream_pos;
@@ -111,6 +115,22 @@ checkpoint_meta checkpointer::take(const storage::database& db,
       fs::remove(e.path());
     }
   }
+
+  std::uint64_t rows = 0;
+  for (table_id_t id = 0; id < db.table_count(); ++id) {
+    const storage::table& t = db.at(id);
+    for (part_id_t s = 0; s < t.shard_count(); ++s) rows += t.live_rows_in(s);
+  }
+  const std::uint64_t t1 = common::now_nanos();
+  static const obs::counter taken("checkpoint.taken_total");
+  static const obs::counter rows_ctr("checkpoint.rows_total");
+  static const obs::counter bytes_ctr("checkpoint.bytes_total");
+  static const obs::histogram dur("checkpoint.duration_nanos");
+  taken.inc();
+  rows_ctr.inc(rows);
+  bytes_ctr.inc(out.size());
+  dur.record_nanos(t1 - t0);
+  obs::record_span(obs::trace_stage::checkpoint, t0, t1 - t0, batch_id);
   return meta;
 }
 

@@ -11,10 +11,22 @@
 #include <stdexcept>
 
 #include "common/mutex.hpp"
+#include "common/stats.hpp"
 #include "common/thread_util.hpp"
 #include "log/plan_codec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace quecc::log {
+
+namespace {
+// Fsync accounting shared by the three fsync sites (group-commit flusher,
+// size rotation, checkpoint rotation).
+const obs::counter& fsyncs_total() {
+  static const obs::counter c("log.fsyncs_total");
+  return c;
+}
+}  // namespace
 
 namespace fs = std::filesystem;
 
@@ -135,12 +147,20 @@ log_writer::lsn_t log_writer::append(record_type type,
   frame[8] = static_cast<std::byte>(type);
   std::memcpy(frame.data() + kFrameHeader, payload.data(), payload.size());
 
+  static const obs::counter appends("log.appends_total");
+  static const obs::counter bytes("log.appended_bytes_total");
+  appends.inc();
+  bytes.inc(frame.size());
+
   common::mutex_lock lk(mu_);
   if (segment_bytes_written_ >= opts_.segment_bytes) {
     // Size rotation: the old segment's bytes become durable here, so the
     // flusher only ever needs to fsync the current fd.
     ::fsync(fd_);
     ++fsyncs_;
+    fsyncs_total().inc();
+    static const obs::counter rotations("log.segment_rotations_total");
+    rotations.inc();
     ::close(fd_);
     open_segment(segment_ + 1);
   }
@@ -190,6 +210,7 @@ std::uint32_t log_writer::rotate_and_truncate() {
   common::mutex_lock lk(mu_);
   ::fsync(fd_);
   ++fsyncs_;
+  fsyncs_total().inc();
   ::close(fd_);
   const std::uint32_t old = segment_;
   open_segment(old + 1);
@@ -222,10 +243,21 @@ void log_writer::flusher_main() {
       // which the rotation itself fsyncs before closing — so advancing
       // durable_ to `target` below stays correct (benign stale-fd race).
       const int fd = fd_;
+      const lsn_t durable_before = durable_;
       lk.unlock();
+      const std::uint64_t t0 = common::now_nanos();
       ::fsync(fd);
+      const std::uint64_t t1 = common::now_nanos();
+      static const obs::histogram fsync_hist("log.fsync_nanos");
+      fsync_hist.record_nanos(t1 - t0);
+      // Group-commit coalescing: every byte between the last durable LSN
+      // and the flush target shares this one fsync.
+      static const obs::counter synced("log.fsynced_bytes_total");
+      synced.inc(target - durable_before);
+      obs::record_span(obs::trace_stage::fsync, t0, t1 - t0);
       lk.lock();
       ++fsyncs_;
+      fsyncs_total().inc();
       // A rotation may have advanced durable_ past target meanwhile.
       if (durable_ < target) durable_ = target;
       lk.unlock();

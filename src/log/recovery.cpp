@@ -4,12 +4,16 @@
 #include <map>
 #include <stdexcept>
 
+#include "common/stats.hpp"
 #include "log/log_writer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace quecc::log {
 
 recovery_result recover(const std::string& dir, storage::database& db,
                         proto::engine& eng, const proc_resolver& procs) {
+  const std::uint64_t rec0 = common::now_nanos();
   recovery_result res;
 
   std::uint32_t base = 0;
@@ -65,7 +69,10 @@ recovery_result recover(const std::string& dir, storage::database& db,
       continue;
     }
     txn::batch b = decode_batch(payload, procs);
+    const std::uint64_t t0 = common::now_nanos();
     eng.run_batch(b, res.replay_metrics);
+    obs::record_span(obs::trace_stage::replay, t0, common::now_nanos() - t0,
+                     id);
     ++res.batches_replayed;
     res.txns_applied = cit->second.stream_pos;
     res.next_batch_id = id + 1;
@@ -83,6 +90,16 @@ recovery_result recover(const std::string& dir, storage::database& db,
   }
 
   res.state_hash = db.state_hash();
+  static const obs::counter runs("recovery.runs_total");
+  static const obs::counter replayed("recovery.batches_replayed_total");
+  static const obs::counter skipped("recovery.batches_skipped_total");
+  static const obs::counter ckpt_loaded("recovery.checkpoints_loaded_total");
+  static const obs::histogram dur("recovery.duration_nanos");
+  runs.inc();
+  replayed.inc(res.batches_replayed);
+  skipped.inc(res.batches_skipped);
+  if (res.checkpoint_loaded) ckpt_loaded.inc();
+  dur.record_nanos(common::now_nanos() - rec0);
   return res;
 }
 

@@ -1,5 +1,7 @@
 #include "net/network.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace quecc::net {
 
 network::network(node_id_t nodes, std::uint32_t one_way_latency_micros)
@@ -11,6 +13,11 @@ void network::send(message m) {
     m.deliver_at += latency_;
     // relaxed: stat counter only.
     sent_.fetch_add(1, std::memory_order_relaxed);
+    // The simulated wire cost: fixed-size scalar messages (message.hpp).
+    static const obs::counter msgs("net.messages_total");
+    static const obs::counter bytes("net.bytes_total");
+    msgs.inc();
+    bytes.inc(sizeof(message));
   }
   auto& box = inboxes_[m.to];
   common::spin_guard guard(box.latch);

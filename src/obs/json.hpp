@@ -1,0 +1,146 @@
+// Minimal streaming JSON writer for the observability exporters.
+//
+// Every machine-readable artifact the system emits — `queccctl
+// --metrics-json`, Chrome trace files, the bench `BENCH_<name>.json`
+// reports — goes through this one writer so escaping and number
+// formatting have a single definition. It is a forward-only emitter:
+// the caller drives begin/end + key/value in document order and the
+// writer inserts separators; there is no DOM and no buffering beyond
+// the target stream.
+//
+// Output hygiene: values print deterministically (no locale, no
+// uninitialized padding) and non-finite doubles are mapped to 0, so the
+// emitted document is always valid JSON. The determinism analyzer
+// (tools/quecc-analyze) treats key()/value() as serialization sinks:
+// code feeding them must not iterate unordered containers.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cmath>
+#include <ostream>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace quecc::obs {
+
+class json_writer {
+ public:
+  explicit json_writer(std::ostream& os) : os_(os) {}
+
+  json_writer(const json_writer&) = delete;
+  json_writer& operator=(const json_writer&) = delete;
+
+  void begin_object() {
+    separate();
+    os_ << '{';
+    first_.push_back(true);
+  }
+  void end_object() {
+    first_.pop_back();
+    os_ << '}';
+  }
+  void begin_array() {
+    separate();
+    os_ << '[';
+    first_.push_back(true);
+  }
+  void end_array() {
+    first_.pop_back();
+    os_ << ']';
+  }
+
+  /// Object member name; must be followed by exactly one value or
+  /// container. Escapes like a string value.
+  void key(std::string_view k) {
+    separate();
+    write_string(k);
+    os_ << ':';
+    after_key_ = true;
+  }
+
+  void value(std::string_view v) {
+    separate();
+    write_string(v);
+  }
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v) {
+    separate();
+    os_ << (v ? "true" : "false");
+  }
+  void value(double v) {
+    separate();
+    if (!std::isfinite(v)) v = 0.0;  // JSON has no inf/nan
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    os_ << buf;
+  }
+  void value(std::uint64_t v) {
+    separate();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(v));
+    os_ << buf;
+  }
+  void value(std::int64_t v) {
+    separate();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    os_ << buf;
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+
+  /// key + value in one call.
+  template <typename T>
+  void kv(std::string_view k, T&& v) {
+    key(k);
+    value(std::forward<T>(v));
+  }
+
+ private:
+  /// Emit the separator owed before the next token: nothing right after a
+  /// key or as a container's first element, ',' otherwise.
+  void separate() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (first_.empty()) return;  // document root
+    if (!first_.back()) {
+      os_ << ',';
+    } else {
+      first_.back() = false;
+    }
+  }
+
+  void write_string(std::string_view s) {
+    os_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\r': os_ << "\\r"; break;
+        case '\t': os_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(c) & 0xff);
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::vector<bool> first_;   // per nesting level: no element emitted yet
+  bool after_key_ = false;
+};
+
+}  // namespace quecc::obs

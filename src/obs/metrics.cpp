@@ -1,0 +1,365 @@
+#include "obs/metrics.hpp"
+
+#include <array>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+#include "obs/json.hpp"
+
+namespace quecc::obs {
+
+namespace {
+
+/// Global runtime kill switch. relaxed: a stale read only means one more
+/// (or one fewer) recorded sample around the toggle; no engine state
+/// orders against it.
+std::atomic<bool> g_enabled{true};
+
+#if !defined(QUECC_OBS_COMPILED_OUT)
+
+enum class metric_kind : std::uint8_t { counter, gauge, histogram };
+
+/// Histogram shard cell: the latency_histogram bucket layout with atomic
+/// counters so the scraper may read while the owner thread records.
+struct hist_cells {
+  std::array<std::atomic<std::uint64_t>,
+             common::latency_histogram::kBuckets>
+      buckets{};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+};
+
+/// One thread's private slice of every sharded metric. Owned by the
+/// registry; leased to exactly one thread at a time. Writes are relaxed
+/// single-writer increments; the scraper reads concurrently with relaxed
+/// loads (a scrape is a statistical snapshot, not a linearization point).
+struct thread_shard {
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+  std::array<hist_cells, kMaxHistograms> hists{};
+};
+
+class registry {
+ public:
+  /// Leaky singleton: thread-exit hooks (shard retirement) may run during
+  /// static destruction, so the registry must outlive every thread.
+  static registry& instance() {
+    static registry* r = new registry;
+    return *r;
+  }
+
+  std::uint32_t register_metric(std::string_view name, metric_kind kind) {
+    common::mutex_lock lk(mu_);
+    auto it = names_.find(name);
+    if (it != names_.end()) {
+      if (it->second.kind != kind) {
+        throw std::logic_error("obs: metric '" + std::string(name) +
+                               "' re-registered with a different kind");
+      }
+      return it->second.id;
+    }
+    const std::size_t cap = kind == metric_kind::counter   ? kMaxCounters
+                            : kind == metric_kind::gauge   ? kMaxGauges
+                                                           : kMaxHistograms;
+    std::uint32_t& next = kind == metric_kind::counter   ? next_counter_
+                          : kind == metric_kind::gauge   ? next_gauge_
+                                                         : next_hist_;
+    if (next >= cap) {
+      throw std::length_error("obs: metric capacity exhausted for '" +
+                              std::string(name) + "'");
+    }
+    const std::uint32_t id = next++;
+    names_.emplace(std::string(name), entry{kind, id});
+    return id;
+  }
+
+  /// The calling thread's shard, leased on first use and retired (values
+  /// folded into retired_, shard recycled) when the thread exits.
+  thread_shard& local_shard() {
+    thread_local lease l;
+    if (l.shard == nullptr) l.shard = acquire_shard();
+    return *l.shard;
+  }
+
+  std::atomic<std::int64_t>& gauge_cell(std::uint32_t id) noexcept {
+    return gauges_[id];
+  }
+
+  metrics_snapshot snapshot() {
+    metrics_snapshot out;
+    common::mutex_lock lk(mu_);
+    for (const auto& [name, e] : names_) {  // std::map: name-sorted
+      switch (e.kind) {
+        case metric_kind::counter: {
+          // relaxed (all loads in this function): scrape of monotonic
+          // stat cells; the snapshot is a statistical view, nothing
+          // orders against it.
+          std::uint64_t v =
+              retired_.counters[e.id].load(std::memory_order_relaxed);
+          for (const auto& s : shards_) {
+            v += s->counters[e.id].load(std::memory_order_relaxed);
+          }
+          out.counters.emplace_back(name, v);
+          break;
+        }
+        case metric_kind::gauge:
+          // relaxed: same statistical-scrape contract as the counters.
+          out.gauges.emplace_back(
+              name, gauges_[e.id].load(std::memory_order_relaxed));
+          break;
+        case metric_kind::histogram: {
+          common::latency_histogram h;
+          auto fold = [&h](const hist_cells& c) {
+            std::array<std::uint64_t, common::latency_histogram::kBuckets>
+                b{};
+            for (std::size_t i = 0; i < b.size(); ++i) {
+              // relaxed: statistical scrape of single-writer hist cells.
+              b[i] = c.buckets[i].load(std::memory_order_relaxed);
+            }
+            // relaxed: same scrape contract; count/sum may be a step
+            // ahead of the buckets, which a statistical view tolerates.
+            h.merge_bucket_counts(b.data(),
+                                  c.count.load(std::memory_order_relaxed),
+                                  c.sum.load(std::memory_order_relaxed));
+          };
+          fold(retired_.hists[e.id]);
+          for (const auto& s : shards_) fold(s->hists[e.id]);
+          out.histograms.emplace_back(name, h);
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  void reset() {
+    common::mutex_lock lk(mu_);
+    auto zero = [](thread_shard& s) {
+      // relaxed (all stores below): test/bench-boundary reset; callers
+      // quiesce recording threads first (see header contract).
+      for (auto& c : s.counters) c.store(0, std::memory_order_relaxed);
+      for (auto& h : s.hists) {
+        for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+        h.count.store(0, std::memory_order_relaxed);
+        h.sum.store(0, std::memory_order_relaxed);
+      }
+    };
+    zero(retired_);
+    for (const auto& s : shards_) zero(*s);
+    // relaxed: same reset contract as above.
+    for (auto& g : gauges_) g.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct entry {
+    metric_kind kind;
+    std::uint32_t id;
+  };
+
+  /// thread_local RAII wrapper: folds the shard back on thread exit.
+  struct lease {
+    thread_shard* shard = nullptr;
+    ~lease() {
+      if (shard != nullptr) registry::instance().retire_shard(shard);
+    }
+  };
+
+  thread_shard* acquire_shard() {
+    common::mutex_lock lk(mu_);
+    if (!free_.empty()) {
+      thread_shard* s = free_.back();
+      free_.pop_back();
+      return s;
+    }
+    shards_.push_back(std::make_unique<thread_shard>());
+    return shards_.back().get();
+  }
+
+  void retire_shard(thread_shard* s) {
+    common::mutex_lock lk(mu_);
+    // relaxed (all atomics below): single-writer shard being folded by
+    // its (exiting) owner; the retired accumulator is scraped with the
+    // same statistical-snapshot contract as live shards.
+    for (std::size_t i = 0; i < kMaxCounters; ++i) {
+      const auto v = s->counters[i].load(std::memory_order_relaxed);
+      if (v != 0) {
+        retired_.counters[i].fetch_add(v, std::memory_order_relaxed);
+        s->counters[i].store(0, std::memory_order_relaxed);
+      }
+    }
+    for (std::size_t i = 0; i < kMaxHistograms; ++i) {
+      hist_cells& from = s->hists[i];
+      hist_cells& to = retired_.hists[i];
+      for (std::size_t b = 0; b < from.buckets.size(); ++b) {
+        // relaxed: owner-thread fold of its own single-writer cells into
+        // the retired accumulator; mu_ orders this against recycling.
+        const auto v = from.buckets[b].load(std::memory_order_relaxed);
+        if (v != 0) {
+          to.buckets[b].fetch_add(v, std::memory_order_relaxed);
+          from.buckets[b].store(0, std::memory_order_relaxed);
+        }
+      }
+      // relaxed: same owner-fold contract as the bucket loop above.
+      to.count.fetch_add(from.count.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+      from.count.store(0, std::memory_order_relaxed);
+      // relaxed: same owner-fold contract as the bucket loop above.
+      to.sum.fetch_add(from.sum.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      from.sum.store(0, std::memory_order_relaxed);
+    }
+    free_.push_back(s);
+  }
+
+  mutable common::mutex mu_;
+  std::map<std::string, entry, std::less<>> names_ GUARDED_BY(mu_);
+  std::uint32_t next_counter_ GUARDED_BY(mu_) = 0;
+  std::uint32_t next_gauge_ GUARDED_BY(mu_) = 0;
+  std::uint32_t next_hist_ GUARDED_BY(mu_) = 0;
+  /// Every shard ever created (stable addresses); free_ holds the subset
+  /// currently unleased. Shard *cells* are atomics read outside mu_; the
+  /// containers themselves are only touched under it.
+  std::vector<std::unique_ptr<thread_shard>> shards_ GUARDED_BY(mu_);
+  std::vector<thread_shard*> free_ GUARDED_BY(mu_);
+  /// Fold target for exited threads' shards (cells atomic, see above).
+  thread_shard retired_;
+  std::array<std::atomic<std::int64_t>, kMaxGauges> gauges_{};
+};
+
+#endif  // !QUECC_OBS_COMPILED_OUT
+
+}  // namespace
+
+void set_metrics_enabled(bool on) noexcept {
+  // relaxed: see g_enabled.
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool metrics_enabled() noexcept {
+  // relaxed: see g_enabled.
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+#if !defined(QUECC_OBS_COMPILED_OUT)
+
+counter::counter(std::string_view name)
+    : id_(registry::instance().register_metric(name, metric_kind::counter)) {}
+
+void counter::inc(std::uint64_t n) const noexcept {
+  if (id_ == kInvalidMetric || !metrics_enabled()) return;
+  // relaxed: monotonic stat cell on the caller's own shard; aggregated by
+  // snapshot() with no ordering requirement.
+  registry::instance().local_shard().counters[id_].fetch_add(
+      n, std::memory_order_relaxed);
+}
+
+gauge::gauge(std::string_view name)
+    : id_(registry::instance().register_metric(name, metric_kind::gauge)) {}
+
+void gauge::set(std::int64_t v) const noexcept {
+  if (id_ == kInvalidMetric || !metrics_enabled()) return;
+  // relaxed: instantaneous stat value; scrapes want a recent value, not
+  // an ordered one.
+  registry::instance().gauge_cell(id_).store(v, std::memory_order_relaxed);
+}
+
+void gauge::add(std::int64_t delta) const noexcept {
+  if (id_ == kInvalidMetric || !metrics_enabled()) return;
+  // relaxed: see set().
+  registry::instance().gauge_cell(id_).fetch_add(delta,
+                                                 std::memory_order_relaxed);
+}
+
+histogram::histogram(std::string_view name)
+    : id_(registry::instance().register_metric(name,
+                                               metric_kind::histogram)) {}
+
+void histogram::record_nanos(std::uint64_t ns) const noexcept {
+  if (id_ == kInvalidMetric || !metrics_enabled()) return;
+  std::uint64_t b = 0;
+  for (std::uint64_t v = ns; v > 1; v >>= 1) ++b;  // floor(log2), 0 for 0/1
+  if (b >= common::latency_histogram::kBuckets) {
+    b = common::latency_histogram::kBuckets - 1;
+  }
+  hist_cells& c = registry::instance().local_shard().hists[id_];
+  // relaxed (all three): stat cells on the caller's own shard, merged by
+  // snapshot() without ordering requirements.
+  c.buckets[b].fetch_add(1, std::memory_order_relaxed);
+  c.count.fetch_add(1, std::memory_order_relaxed);
+  c.sum.fetch_add(ns, std::memory_order_relaxed);
+}
+
+metrics_snapshot snapshot_metrics() { return registry::instance().snapshot(); }
+
+void reset_metrics() { registry::instance().reset(); }
+
+#else  // QUECC_OBS_COMPILED_OUT: handles are inert, snapshots empty.
+
+counter::counter(std::string_view) {}
+void counter::inc(std::uint64_t) const noexcept {}
+gauge::gauge(std::string_view) {}
+void gauge::set(std::int64_t) const noexcept {}
+void gauge::add(std::int64_t) const noexcept {}
+histogram::histogram(std::string_view) {}
+void histogram::record_nanos(std::uint64_t) const noexcept {}
+
+metrics_snapshot snapshot_metrics() { return {}; }
+void reset_metrics() {}
+
+#endif  // QUECC_OBS_COMPILED_OUT
+
+void write_histogram_json(json_writer& w, const common::latency_histogram& h) {
+  w.begin_object();
+  w.kv("count", h.count());
+  w.kv("sum_nanos", h.sum_nanos());
+  w.kv("mean_nanos", h.mean_nanos());
+  w.kv("p50_nanos", h.percentile_nanos(50));
+  w.kv("p95_nanos", h.percentile_nanos(95));
+  w.kv("p99_nanos", h.percentile_nanos(99));
+  w.key("buckets");
+  w.begin_array();
+  for (std::size_t b = 0; b < common::latency_histogram::kBuckets; ++b) {
+    const std::uint64_t n = h.bucket_count(b);
+    if (n == 0) continue;
+    w.begin_array();
+    w.value(common::latency_histogram::bucket_lower_nanos(b));
+    w.value(n);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_metrics_sections(json_writer& w) {
+  const metrics_snapshot snap = snapshot_metrics();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : snap.counters) w.kv(name, v);
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, v] : snap.gauges) w.kv(name, v);
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : snap.histograms) {
+    w.key(name);
+    write_histogram_json(w, h);
+  }
+  w.end_object();
+}
+
+void write_metrics_json(std::ostream& os) {
+  json_writer w(os);
+  w.begin_object();
+  w.kv("quecc_metrics_schema", 1);
+  write_metrics_sections(w);
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace quecc::obs

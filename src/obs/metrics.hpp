@@ -1,0 +1,126 @@
+// Engine-wide metrics registry: named counters, gauges, and log-bucketed
+// histograms, sharded per thread.
+//
+// Design goals, in order:
+//   1. Hot paths pay one relaxed increment on a thread-local shard —
+//      no lock, no cache-line ping-pong between workers (each thread
+//      owns its shard exclusively; only the scraper ever reads it).
+//   2. Scraping never blocks recording: snapshot() takes only the
+//      registration mutex (contended exclusively by thread birth/death
+//      and first-use metric registration, never by increments) and
+//      aggregates the shards with relaxed loads.
+//   3. Observability must never perturb execution: nothing in here reads
+//      a clock or branches engine behavior, and the whole layer can be
+//      compiled out (-DQUECC_OBS_COMPILED_OUT) — a regression test pins
+//      state-hash equality between enabled and disabled runs.
+//
+// Metric model:
+//   * counter   — monotonic u64, summed across thread shards. A thread
+//                 that exits folds its shard into a retired accumulator,
+//                 so totals survive engine teardown.
+//   * gauge     — instantaneous i64 (set/add), registry-global: gauges
+//                 describe shared structures (queue depth), not
+//                 per-thread work, so sharding them would mis-model.
+//   * histogram — the common::latency_histogram log-bucket layout with
+//                 atomic cells, sharded like counters and merged into a
+//                 plain latency_histogram on scrape.
+//
+// Naming convention: dot-separated "<subsystem>.<what>_<unit>" with a
+// "_total" suffix for counters ("log.fsyncs_total", "admission.queue_depth").
+// The README "Observability" section tables every name the tree emits.
+//
+// Handles are cheap value types (a u32 id); construct them once
+// (function-static or member) and call inc()/set()/record_nanos() on the
+// hot path. Registration is idempotent by name; registering the same name
+// with a different kind throws.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace quecc::obs {
+
+class json_writer;
+
+inline constexpr std::uint32_t kInvalidMetric = 0xFFFFFFFFu;
+
+/// Capacity limits of a thread shard. Registration beyond them throws
+/// std::length_error — metrics are a curated set, not user data.
+inline constexpr std::size_t kMaxCounters = 192;
+inline constexpr std::size_t kMaxGauges = 48;
+inline constexpr std::size_t kMaxHistograms = 24;
+
+class counter {
+ public:
+  counter() = default;  ///< unbound handle; every operation is a no-op
+  /// Registers (or re-finds) the named counter.
+  explicit counter(std::string_view name);
+  void inc(std::uint64_t n = 1) const noexcept;
+
+ private:
+  std::uint32_t id_ = kInvalidMetric;
+};
+
+class gauge {
+ public:
+  gauge() = default;
+  explicit gauge(std::string_view name);
+  void set(std::int64_t v) const noexcept;
+  void add(std::int64_t delta) const noexcept;
+
+ private:
+  std::uint32_t id_ = kInvalidMetric;
+};
+
+class histogram {
+ public:
+  histogram() = default;
+  explicit histogram(std::string_view name);
+  void record_nanos(std::uint64_t ns) const noexcept;
+
+ private:
+  std::uint32_t id_ = kInvalidMetric;
+};
+
+/// One aggregated scrape of the registry, name-sorted (deterministic
+/// serialization order — the exporters are determinism-analyzer sinks).
+struct metrics_snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, common::latency_histogram>> histograms;
+};
+
+/// Runtime kill switch (default on). Disabling makes every handle
+/// operation a no-op; existing values are retained until reset().
+void set_metrics_enabled(bool on) noexcept;
+bool metrics_enabled() noexcept;
+
+/// Aggregate every thread shard (live and retired) plus the gauges.
+/// Never blocks recording; see the file header for the exact guarantee.
+metrics_snapshot snapshot_metrics();
+
+/// Zero every recorded value (names/ids stay registered). Callers must
+/// quiesce recording threads first — this is a test/bench-boundary hook,
+/// not a concurrent operation.
+void reset_metrics();
+
+/// Serialize a snapshot as {"counters":{...},"gauges":{...},
+/// "histograms":{...}} into an existing writer (the caller owns the
+/// enclosing object) — lets `queccctl --metrics-json` and the harness
+/// compose run metadata with the registry scrape in one document.
+void write_metrics_sections(json_writer& w);
+
+/// Standalone JSON document: one object holding the three sections.
+void write_metrics_json(std::ostream& os);
+
+/// Shared histogram serialization: {"count":..,"sum_nanos":..,
+/// "mean_nanos":..,"p50_nanos":..,"p95_nanos":..,"p99_nanos":..,
+/// "buckets":[[lower_bound_nanos,count],...]} (non-empty buckets only).
+void write_histogram_json(json_writer& w, const common::latency_histogram& h);
+
+}  // namespace quecc::obs

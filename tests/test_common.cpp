@@ -1,6 +1,8 @@
 // Unit tests: common substrate (rng, zipf, spinlock, stats, config, pool).
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cmath>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -168,6 +170,97 @@ TEST(Histogram, MergeAfterReset) {
   EXPECT_DOUBLE_EQ(a.mean_nanos(), 2000.0);
   // The reset sample must not linger in any bucket.
   EXPECT_GT(a.percentile_nanos(0), 1024.0);
+}
+
+TEST(Histogram, MergeEmptyIsNoOp) {
+  common::latency_histogram a, empty;
+  a.record_nanos(1000);
+  a.record_nanos(5000);
+  const auto count = a.count();
+  const auto sum = a.sum_nanos();
+  const double p50 = a.percentile_nanos(50);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), count);
+  EXPECT_EQ(a.sum_nanos(), sum);
+  EXPECT_DOUBLE_EQ(a.percentile_nanos(50), p50);
+}
+
+TEST(Histogram, MergeIntoEmptyReproducesOther) {
+  common::latency_histogram a, b;
+  for (std::uint64_t ns : {0ull, 1ull, 999ull, 4096ull, 1000000ull, ~0ull}) {
+    b.record_nanos(ns);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.sum_nanos(), b.sum_nanos());
+  for (std::size_t i = 0; i < common::latency_histogram::kBuckets; ++i) {
+    EXPECT_EQ(a.bucket_count(i), b.bucket_count(i)) << "bucket " << i;
+  }
+  for (double q : {0.0, 25.0, 50.0, 95.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile_nanos(q), b.percentile_nanos(q));
+  }
+}
+
+TEST(Histogram, SingleSampleReportsBucketMidpoint) {
+  // A lone sample interpolates to the linear midpoint of its log bucket:
+  // 1000ns lands in [512, 1024), every quantile reports (512+1024)/2.
+  common::latency_histogram h;
+  h.record_nanos(1000);
+  for (double q : {0.0, 50.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile_nanos(q), (512.0 + 1024.0) / 2.0);
+  }
+}
+
+TEST(Histogram, PercentileInterpolationBoundsAndMonotone) {
+  common::latency_histogram h;
+  // Spread samples across several buckets.
+  for (std::uint64_t ns = 64; ns <= 1 << 20; ns *= 2) {
+    for (int i = 0; i < 7; ++i) h.record_nanos(ns + static_cast<unsigned>(i));
+  }
+  double prev = -1.0;
+  for (double q = 0.0; q <= 100.0; q += 2.5) {
+    const double p = h.percentile_nanos(q);
+    // Quantiles are monotone in q and stay inside the recorded range.
+    EXPECT_GE(p, prev) << "q=" << q;
+    EXPECT_GE(p, 64.0);
+    EXPECT_LE(p, std::ldexp(1.0, 21));
+    prev = p;
+  }
+}
+
+TEST(Histogram, BucketLowerBounds) {
+  EXPECT_DOUBLE_EQ(common::latency_histogram::bucket_lower_nanos(0), 0.0);
+  EXPECT_DOUBLE_EQ(common::latency_histogram::bucket_lower_nanos(1), 2.0);
+  EXPECT_DOUBLE_EQ(common::latency_histogram::bucket_lower_nanos(10), 1024.0);
+  EXPECT_DOUBLE_EQ(common::latency_histogram::bucket_lower_nanos(63),
+                   std::ldexp(1.0, 63));
+}
+
+TEST(Histogram, MergeBucketCountsMatchesMerge) {
+  // merge_bucket_counts over a raw bucket array must agree with merge()
+  // over the histogram those buckets came from (the obs registry folds
+  // per-thread atomic shards through this path).
+  common::latency_histogram src;
+  for (std::uint64_t ns : {100ull, 2000ull, 2048ull, 700000ull}) {
+    src.record_nanos(ns);
+  }
+  std::array<std::uint64_t, common::latency_histogram::kBuckets> raw{};
+  for (std::size_t i = 0; i < raw.size(); ++i) raw[i] = src.bucket_count(i);
+
+  common::latency_histogram via_merge, via_raw;
+  via_merge.record_nanos(50);
+  via_raw.record_nanos(50);
+  via_merge.merge(src);
+  via_raw.merge_bucket_counts(raw.data(), src.count(), src.sum_nanos());
+  EXPECT_EQ(via_raw.count(), via_merge.count());
+  EXPECT_EQ(via_raw.sum_nanos(), via_merge.sum_nanos());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_EQ(via_raw.bucket_count(i), via_merge.bucket_count(i));
+  }
+  for (double q : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(via_raw.percentile_nanos(q),
+                     via_merge.percentile_nanos(q));
+  }
 }
 
 TEST(RunMetrics, ThroughputAndMerge) {
