@@ -10,6 +10,7 @@
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/spinlock.hpp"
+#include "common/topology.hpp"
 #include "common/zipf.hpp"
 #include "core/admission.hpp"
 #include "core/planner.hpp"
@@ -222,6 +223,53 @@ void BM_StateHash(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(db.state_hash());
 }
 BENCHMARK(BM_StateHash);
+
+// --- topology / placement (common/topology.hpp) -----------------------------
+// Placement is computed once per engine construction, but the topology
+// helpers also sit on the pin path of every worker spawn — keep them cheap.
+
+void BM_CpulistParse(benchmark::State& state) {
+  // A dense 128-cpu two-socket list, the realistic worst case.
+  const std::string list = "0-31,64-95,32-63,96-127";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(common::parse_cpulist(list));
+  }
+}
+BENCHMARK(BM_CpulistParse);
+
+void BM_TopologyCpuLookup(benchmark::State& state) {
+  common::topology topo;
+  for (unsigned n = 0; n < 4; ++n) {
+    common::numa_node nd;
+    nd.id = n;
+    for (unsigned c = 0; c < 32; ++c) nd.cpus.push_back(n * 32 + c);
+    topo.nodes.push_back(std::move(nd));
+  }
+  common::rng r(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.node_of_cpu(r.next_below(128)));
+  }
+}
+BENCHMARK(BM_TopologyCpuLookup);
+
+void BM_PlacementCompute(benchmark::State& state) {
+  common::topology topo;
+  for (unsigned n = 0; n < 4; ++n) {
+    common::numa_node nd;
+    nd.id = n;
+    for (unsigned c = 0; c < 32; ++c) nd.cpus.push_back(n * 32 + c);
+    topo.nodes.push_back(std::move(nd));
+  }
+  common::placement_spec spec;
+  spec.planners = 16;
+  spec.executors = 64;
+  spec.policy = state.range(0) == 0 ? common::pin_policy::compact
+                                    : common::pin_policy::spread;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(common::compute_placement(topo, spec));
+  }
+}
+BENCHMARK(BM_PlacementCompute)->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -9,6 +9,8 @@
 //            [--log-dir DIR] [--durable] [--recover]
 //            [--checkpoint-every N] [--group-commit-us N] [--list]
 //            [--metrics-json[=FILE]] [--trace-out=FILE]
+//            [--stage3 on|off] [--pin-threads] [--pin-policy POLICY]
+//            [--numa] [--verbose]
 //
 // Observability: --metrics-json dumps the run summary plus the full obs
 // registry scrape (counters/gauges/histograms, src/obs/metrics.hpp) as one
@@ -28,6 +30,17 @@
 // --pipeline-depth N sets how many batches the queue-oriented engines keep
 // in flight (1 = the paper's lockstep; default 2 overlaps batch i+1's
 // planning with batch i's execution). Results are identical at any depth.
+// --stage3 on|off toggles the third pipeline stage (async commit epilogue:
+// the durable tail of batch i overlaps batch i+1's execution; on by
+// default, effective at depth >= 2). Results are identical either way.
+//
+// Placement: --pin-threads pins planners/executors/epilogue to CPUs
+// following --pin-policy (compact = a partition's executor shares the
+// socket of its arena, spread = executors round-robin across NUMA nodes,
+// none = legacy raw-index pinning). --numa additionally mbinds each
+// storage arena's pages onto the socket of the executor owning it
+// (best-effort; no-op on single-node machines). --verbose prints the
+// machine topology and the resolved thread->cpu / arena->node map.
 //
 // Durability (quecc engine only): --durable --log-dir DIR command-logs
 // every planned batch and fsyncs a commit record per batch (group commit,
@@ -57,6 +70,7 @@
 #include <string>
 
 #include "common/rng.hpp"
+#include "common/topology.hpp"
 #include "harness/report.hpp"
 #include "harness/runner.hpp"
 #include "log/recovery.hpp"
@@ -85,6 +99,7 @@ struct options {
   std::uint64_t seed = 42;
   double arrival_rate = 0.0;  ///< txn/s; > 0 selects the open-loop path
   bool recover = false;       ///< recover from cfg.log_dir, then resume
+  bool verbose = false;       ///< print topology + placement map at start
   std::string metrics_json;   ///< "-" = stdout; empty = disabled
   std::string trace_out;      ///< Chrome trace file; empty = disabled
 };
@@ -124,6 +139,27 @@ bool parse(options& o, int argc, char** argv) {
       o.cfg.worker_threads = static_cast<worker_id_t>(std::atoi(need(i)));
     } else if (a == "--pipeline-depth") {
       o.cfg.pipeline_depth = static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (a == "--stage3") {
+      const std::string v = need(i);
+      if (v != "on" && v != "off") usage(argv[0]);
+      o.cfg.async_epilogue = v == "on";
+    } else if (a == "--pin-threads") {
+      o.cfg.pin_threads = true;
+    } else if (a == "--pin-policy") {
+      const std::string v = need(i);
+      if (v == "none") {
+        o.cfg.pin_mode = common::pin_policy::none;
+      } else if (v == "compact") {
+        o.cfg.pin_mode = common::pin_policy::compact;
+      } else if (v == "spread") {
+        o.cfg.pin_mode = common::pin_policy::spread;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (a == "--numa") {
+      o.cfg.numa_bind = true;
+    } else if (a == "--verbose") {
+      o.verbose = true;
     } else if (a == "--partitions") {
       o.cfg.partitions = static_cast<part_id_t>(std::atoi(need(i)));
     } else if (a == "--nodes") {
@@ -235,6 +271,24 @@ void write_metrics_doc(std::ostream& os, const options& o,
 // owns stdout, so `--metrics-json | jq` style pipes see pure JSON.
 FILE* report_stream(const options& o) {
   return o.metrics_json == "-" ? stderr : stdout;
+}
+
+// --verbose: machine topology plus the thread->cpu / arena->node map the
+// engine will apply (computed here exactly as the engine computes it).
+void print_placement(const options& o) {
+  FILE* out = report_stream(o);
+  const common::topology& topo = common::system_topology();
+  std::fprintf(out, "topology: %zu node(s), %zu cpu(s)\n", topo.nodes.size(),
+               topo.cpu_count());
+  common::placement_spec spec;
+  spec.planners = o.cfg.planner_threads;
+  spec.executors = o.cfg.executor_threads;
+  spec.policy = o.cfg.pin_mode;
+  const common::placement_plan plan = common::compute_placement(topo, spec);
+  std::fprintf(out, "%s", plan.describe(o.cfg.partitions).c_str());
+  if (!o.cfg.pin_threads) {
+    std::fprintf(out, "(placement shown but not applied: --pin-threads off)\n");
+  }
 }
 
 // --metrics-json / --trace-out emission after a run (normal or recovery).
@@ -354,6 +408,8 @@ int main(int argc, char** argv) {
   // Enable span recording before any engine thread spins up so the whole
   // run (recovery replay included) lands in the trace.
   if (!o.trace_out.empty()) obs::set_tracing_enabled(true);
+
+  if (o.verbose) print_placement(o);
 
   if (o.recover) {
     if (o.cfg.log_dir.empty()) {

@@ -25,12 +25,27 @@ const char* to_string(isolation i) noexcept {
   return "?";
 }
 
+const char* to_string(pin_policy p) noexcept {
+  switch (p) {
+    case pin_policy::none:
+      return "none";
+    case pin_policy::compact:
+      return "compact";
+    case pin_policy::spread:
+      return "spread";
+  }
+  return "?";
+}
+
 std::string config::describe() const {
   std::ostringstream os;
   os << "P=" << planner_threads << " E=" << executor_threads
      << " batch=" << batch_size << " depth=" << pipeline_depth
      << " deadline=" << batch_deadline_micros << "us parts=" << partitions
      << " " << to_string(execution) << "/" << to_string(iso);
+  if (!async_epilogue) os << " epilogue=inline";
+  if (pin_threads) os << " pin=" << to_string(pin_mode);
+  if (numa_bind) os << " numa-bind";
   if (nodes > 1) os << " nodes=" << nodes << " lat=" << net_latency_micros << "us";
   if (durable) {
     os << " durable(log=" << log_dir << " gc=" << group_commit_micros << "us";

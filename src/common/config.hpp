@@ -28,8 +28,17 @@ enum class isolation : std::uint8_t {
   read_committed,  ///< reads run against committed versions in extra queues
 };
 
+/// Thread-placement policy used when `pin_threads` is on (see
+/// common/topology.hpp for the exact assignment each policy computes).
+enum class pin_policy : std::uint8_t {
+  none,     ///< legacy raw-index pinning (thread i -> cpu i mod #cpus)
+  compact,  ///< executors pack node-major: partition runs beside its arena
+  spread,   ///< executors round-robin across NUMA nodes
+};
+
 const char* to_string(exec_model m) noexcept;
 const char* to_string(isolation i) noexcept;
+const char* to_string(pin_policy p) noexcept;
 
 /// Shared configuration for every engine, centralized and distributed.
 struct config {
@@ -38,6 +47,15 @@ struct config {
   worker_id_t executor_threads = 2;  ///< queue-oriented execution phase width
   worker_id_t worker_threads = 4;    ///< thread pool size for baselines
   bool pin_threads = false;          ///< best-effort CPU affinity
+  /// Placement policy applied when pin_threads is on: compact co-locates a
+  /// partition's executor with its arena's socket, spread maximizes memory
+  /// bandwidth, none keeps the legacy raw-index pinning.
+  pin_policy pin_mode = pin_policy::compact;
+  /// Bind each storage arena's slab/meta pages on the NUMA node of the
+  /// executor owning the arena's partition (mbind, best-effort; no-op on
+  /// single-node machines). Independent of pin_threads, but only useful
+  /// together with it.
+  bool numa_bind = false;
 
   // --- batching ----------------------------------------------------------
   std::uint32_t batch_size = 1024;  ///< txns per deterministic batch
@@ -48,6 +66,14 @@ struct config {
   /// stages across batches. Execution and the commit epilogue stay
   /// sequential by batch id, so results are bit-identical at every depth.
   std::uint32_t pipeline_depth = 2;
+  /// Third pipeline stage: run the commit epilogue's durable tail (WAL
+  /// commit record + group-commit fsync wait) on a dedicated epilogue
+  /// worker so exec(i+1) overlaps epilogue(i). The state-mutating half
+  /// (speculative recovery, RC publish, checkpoints) always stays at the
+  /// quiescent point, so results are bit-identical with this on or off.
+  /// Effective only at pipeline_depth >= 2 — depth 1 has no batch to
+  /// overlap with and degenerates to the inline epilogue either way.
+  bool async_epilogue = true;
 
   // --- admission (async client path) -------------------------------------
   /// A batch former closes a batch on `batch_size` *or* this timer,

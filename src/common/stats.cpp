@@ -93,6 +93,7 @@ void run_metrics::merge(const run_metrics& other) {
   elapsed_seconds = std::max(elapsed_seconds, other.elapsed_seconds);
   plan_busy_seconds += other.plan_busy_seconds;
   exec_busy_seconds += other.exec_busy_seconds;
+  epilogue_busy_seconds += other.epilogue_busy_seconds;
   pipeline_overlap_seconds += other.pipeline_overlap_seconds;
   txn_latency.merge(other.txn_latency);
   queue_latency.merge(other.queue_latency);
@@ -109,6 +110,7 @@ std::string run_metrics::summary(const std::string& label) const {
   if (plan_busy_seconds > 0 || exec_busy_seconds > 0) {
     os << ", stages{plan_busy=" << std::fixed << std::setprecision(3)
        << plan_busy_seconds << "s exec_busy=" << exec_busy_seconds
+       << "s epilogue_busy=" << epilogue_busy_seconds
        << "s overlap=" << pipeline_overlap_seconds << "s}";
     os.unsetf(std::ios_base::floatfield);
   }

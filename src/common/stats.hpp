@@ -116,6 +116,11 @@ struct run_metrics {
   /// up, so busy time is what summary() can still report truthfully.
   double plan_busy_seconds = 0.0;  ///< cumulative planner busy time
   double exec_busy_seconds = 0.0;  ///< cumulative executor busy time
+  /// Cumulative commit-epilogue time (recovery + RC publish + commit
+  /// record + durable wait). With the three-stage pipeline this runs on
+  /// the epilogue worker, overlapped with the next batch's execution — so
+  /// at depth >= 2 it stops being a subset of elapsed_seconds.
+  double epilogue_busy_seconds = 0.0;
   /// Wall-clock overlap between batches' planning windows and earlier
   /// batches' execution windows — the time the two Figure 1 stages ran
   /// concurrently. 0 in lockstep (pipeline_depth == 1).

@@ -16,7 +16,12 @@ namespace quecc::common {
 /// Number of hardware threads, never less than 1.
 unsigned hardware_threads() noexcept;
 
-/// Best-effort pin of the calling thread to `cpu % hardware_threads()`.
+/// Best-effort pin of the calling thread to `cpu`. Ids past the machine's
+/// cpu count wrap through the topology's node-major cpu list (so the wrap
+/// lands on a real OS cpu even when cpu numbering is sparse) and bump the
+/// `thread.pin_wrapped_total` counter once per wrapping thread — silent
+/// oversubscription was a debugging trap (--pin-threads with more workers
+/// than cores pinned several workers to one core with no trace of it).
 /// Returns false when the platform refuses (non-fatal; used for benches).
 bool pin_self_to(unsigned cpu) noexcept;
 

@@ -1,0 +1,240 @@
+#include "common/topology.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/thread_util.hpp"
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace quecc::common {
+
+std::vector<unsigned> topology::flatten() const {
+  std::vector<unsigned> all;
+  all.reserve(cpu_count());
+  for (const auto& nd : nodes) {
+    all.insert(all.end(), nd.cpus.begin(), nd.cpus.end());
+  }
+  return all;
+}
+
+unsigned topology::node_of_cpu(unsigned cpu) const noexcept {
+  for (const auto& nd : nodes) {
+    if (std::find(nd.cpus.begin(), nd.cpus.end(), cpu) != nd.cpus.end()) {
+      return nd.id;
+    }
+  }
+  return nodes.empty() ? 0 : nodes.front().id;
+}
+
+std::vector<unsigned> parse_cpulist(std::string_view text) {
+  std::vector<unsigned> cpus;
+  std::size_t pos = 0;
+  auto parse_uint = [&](std::string_view tok, unsigned& out) {
+    const char* b = tok.data();
+    const char* e = b + tok.size();
+    while (b < e && (*b == ' ' || *b == '\t')) ++b;
+    while (e > b && (e[-1] == ' ' || e[-1] == '\t' || e[-1] == '\n')) --e;
+    return std::from_chars(b, e, out).ec == std::errc{};
+  };
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    std::string_view tok = text.substr(
+        pos, comma == std::string_view::npos ? text.size() - pos
+                                             : comma - pos);
+    const std::size_t dash = tok.find('-');
+    unsigned lo = 0, hi = 0;
+    if (dash == std::string_view::npos) {
+      if (parse_uint(tok, lo)) cpus.push_back(lo);
+    } else if (parse_uint(tok.substr(0, dash), lo) &&
+               parse_uint(tok.substr(dash + 1), hi) && lo <= hi &&
+               hi - lo < 4096) {
+      for (unsigned c = lo; c <= hi; ++c) cpus.push_back(c);
+    }
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+namespace {
+
+topology fallback_topology() {
+  topology t;
+  numa_node n0;
+  n0.id = 0;
+  for (unsigned c = 0; c < hardware_threads(); ++c) n0.cpus.push_back(c);
+  t.nodes.push_back(std::move(n0));
+  return t;
+}
+
+}  // namespace
+
+topology read_topology(const std::string& sysfs_root) {
+  topology t;
+  // Node ids may be sparse (node0, node2, ...); probe a generous id range
+  // instead of walking the directory — no <filesystem> surprises and the
+  // misses cost one failed open each.
+  constexpr unsigned kMaxProbe = 1024;
+  for (unsigned id = 0; id < kMaxProbe; ++id) {
+    std::ifstream in(sysfs_root + "/node" + std::to_string(id) + "/cpulist");
+    if (!in) continue;
+    std::string line;
+    std::getline(in, line);
+    numa_node nd;
+    nd.id = id;
+    nd.cpus = parse_cpulist(line);
+    if (!nd.cpus.empty()) t.nodes.push_back(std::move(nd));
+  }
+  if (t.nodes.empty()) return fallback_topology();
+  return t;
+}
+
+const topology& system_topology() {
+  static const topology topo = read_topology("/sys/devices/system/node");
+  return topo;
+}
+
+placement_plan compute_placement(const topology& topo,
+                                 const placement_spec& spec) {
+  placement_plan plan;
+  const std::vector<unsigned> all = topo.flatten();
+  const std::size_t ncpus = all.empty() ? 1 : all.size();
+  const std::size_t nnodes = topo.nodes.empty() ? 1 : topo.nodes.size();
+  plan.planner_cpu.resize(spec.planners);
+  plan.executor_cpu.resize(spec.executors);
+  plan.executor_node.resize(spec.executors);
+
+  if (spec.policy == pin_policy::none) {
+    // Legacy raw-index assignment, wrapped by the real cpu count; node
+    // attribution still follows so arena binding stays meaningful.
+    for (worker_id_t p = 0; p < spec.planners; ++p) {
+      plan.planner_cpu[p] = static_cast<unsigned>(p % ncpus);
+    }
+    for (worker_id_t e = 0; e < spec.executors; ++e) {
+      plan.executor_cpu[e] =
+          static_cast<unsigned>((spec.planners + e) % ncpus);
+      plan.executor_node[e] = topo.node_of_cpu(plan.executor_cpu[e]);
+    }
+    plan.epilogue_cpu = static_cast<unsigned>(
+        (spec.planners + spec.executors) % ncpus);
+    plan.epilogue_node = topo.node_of_cpu(plan.epilogue_cpu);
+    return plan;
+  }
+
+  // Per-node claim cursors: executors claim cpus first (they are the
+  // bandwidth-bound stage), planners and the epilogue worker slot in after
+  // them so nothing doubles up until a node's cpus are exhausted.
+  std::vector<std::size_t> cursor(nnodes, 0);
+  auto claim = [&](std::size_t node_idx) {
+    const auto& cpus = topo.nodes[node_idx].cpus;
+    return cpus[cursor[node_idx]++ % cpus.size()];
+  };
+
+  for (worker_id_t e = 0; e < spec.executors; ++e) {
+    std::size_t node_idx;
+    if (spec.policy == pin_policy::compact) {
+      // Pack node-major: fill node 0's cpus, then node 1's, ... so
+      // consecutive executors (and the partitions striped onto them,
+      // p % E) share a socket with their arenas.
+      std::size_t flat = e;
+      node_idx = 0;
+      while (node_idx + 1 < nnodes &&
+             flat >= topo.nodes[node_idx].cpus.size()) {
+        flat -= topo.nodes[node_idx].cpus.size();
+        ++node_idx;
+      }
+    } else {  // spread
+      node_idx = e % nnodes;
+    }
+    plan.executor_cpu[e] = claim(node_idx);
+    plan.executor_node[e] = topo.nodes[node_idx].id;
+  }
+  // Planners spread across nodes under both policies: they write into
+  // every executor's queues, so no single socket is a better home.
+  for (worker_id_t p = 0; p < spec.planners; ++p) {
+    plan.planner_cpu[p] = claim(p % nnodes);
+  }
+  // Epilogue worker near the log device — node 0 by heuristic (where
+  // storage IRQ lines usually land); a knob can refine this later.
+  plan.epilogue_cpu = claim(0);
+  plan.epilogue_node = topo.nodes.front().id;
+  return plan;
+}
+
+std::string placement_plan::describe(part_id_t arenas) const {
+  std::ostringstream os;
+  for (std::size_t p = 0; p < planner_cpu.size(); ++p) {
+    os << "  planner " << p << " -> cpu " << planner_cpu[p] << "\n";
+  }
+  for (std::size_t e = 0; e < executor_cpu.size(); ++e) {
+    os << "  executor " << e << " -> cpu " << executor_cpu[e] << " (node "
+       << executor_node[e] << ")\n";
+  }
+  os << "  epilogue -> cpu " << epilogue_cpu << " (node " << epilogue_node
+     << ")\n";
+  for (part_id_t a = 0; a < arenas; ++a) {
+    os << "  arena " << a << " -> node " << node_of_arena(a) << "\n";
+  }
+  return os.str();
+}
+
+#if defined(__linux__)
+
+namespace {
+// Raw-syscall mbind/get_mempolicy: the container toolchain has no libnuma
+// and must not grow the dependency; the ABI constants are stable kernel
+// UAPI (linux/mempolicy.h).
+constexpr int kMpolBind = 2;
+constexpr unsigned kMpolMfMove = 1u << 1;
+constexpr int kMpolFNode = 1 << 0;
+constexpr int kMpolFAddr = 1 << 1;
+constexpr std::size_t kMaskWords = 16;  // up to 1024 nodes
+constexpr std::size_t kBitsPerWord = 8 * sizeof(unsigned long);
+}  // namespace
+
+bool bind_memory_to_node(void* addr, std::size_t len, unsigned node) noexcept {
+  if (addr == nullptr || len == 0) return false;
+  if (node >= kMaskWords * kBitsPerWord) return false;
+  if (!system_topology().multi_node()) return false;  // nothing to migrate
+  const long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) return false;
+  const auto base = reinterpret_cast<std::uintptr_t>(addr);
+  const std::uintptr_t aligned =
+      base & ~static_cast<std::uintptr_t>(page - 1);
+  len += base - aligned;
+  unsigned long mask[kMaskWords] = {};
+  mask[node / kBitsPerWord] |= 1ul << (node % kBitsPerWord);
+  // MPOL_MF_MOVE: arena slabs are zero-filled at allocation, so their
+  // pages are already faulted on the loader's node and must be migrated —
+  // first-touch alone would be a silent no-op here.
+  return syscall(__NR_mbind, aligned, len, kMpolBind, mask,
+                 kMaskWords * kBitsPerWord + 1, kMpolMfMove) == 0;
+}
+
+int node_of_address(const void* addr) noexcept {
+  int node = -1;
+  if (syscall(__NR_get_mempolicy, &node, nullptr, 0ul, addr,
+              kMpolFNode | kMpolFAddr) != 0) {
+    return -1;
+  }
+  return node;
+}
+
+#else  // !__linux__
+
+bool bind_memory_to_node(void*, std::size_t, unsigned) noexcept {
+  return false;
+}
+int node_of_address(const void*) noexcept { return -1; }
+
+#endif
+
+}  // namespace quecc::common

@@ -1,0 +1,120 @@
+// Machine topology and NUMA-aware placement.
+//
+// The paradigm's whole bet is that planning makes execution embarrassingly
+// partition-parallel — which only pays off on a real box when a partition's
+// executor and the arena holding its rows share a socket. This layer reads
+// the NUMA shape from sysfs (`/sys/devices/system/node`), computes a
+// deterministic thread→cpu / arena→node assignment from it, and provides a
+// best-effort page binding primitive (raw `mbind` syscall — no libnuma
+// dependency). Single-node machines (laptops, CI) degrade to one node
+// holding every cpu, where compact/spread collapse to the same plan and
+// binding is a no-op.
+//
+// Everything here is best-effort and side-effect free until the caller
+// pins or binds: computing a plan never touches affinity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace quecc::common {
+
+/// One NUMA node: its id and the OS cpu ids it owns (ascending).
+struct numa_node {
+  unsigned id = 0;
+  std::vector<unsigned> cpus;
+};
+
+/// Machine shape. `nodes` is never empty (the fallback is one node owning
+/// every hardware thread) and each node's cpu list is never empty.
+struct topology {
+  std::vector<numa_node> nodes;  ///< ascending node id
+
+  bool multi_node() const noexcept { return nodes.size() > 1; }
+  std::size_t cpu_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& nd : nodes) n += nd.cpus.size();
+    return n;
+  }
+  /// Node-major flattening: node 0's cpus, then node 1's, ...
+  std::vector<unsigned> flatten() const;
+  /// NUMA node id owning OS cpu `cpu`; node 0 when unknown.
+  unsigned node_of_cpu(unsigned cpu) const noexcept;
+};
+
+/// Parse the sysfs cpulist format ("0-3,8,10-11"); ignores whitespace and
+/// malformed fragments. Returns ascending, deduplicated cpu ids.
+std::vector<unsigned> parse_cpulist(std::string_view text);
+
+/// Read the topology under `sysfs_root` (node*/cpulist). Nodes without
+/// cpus (memory-only) are skipped. Falls back to a single node holding
+/// hardware_threads() cpus when nothing parseable is found.
+topology read_topology(const std::string& sysfs_root);
+
+/// Cached machine topology (probes /sys/devices/system/node once).
+const topology& system_topology();
+
+// --- placement plan --------------------------------------------------------
+
+/// Inputs of a placement computation: the engine's stage widths plus the
+/// policy knob (config::pin_mode).
+struct placement_spec {
+  worker_id_t planners = 0;
+  worker_id_t executors = 0;
+  pin_policy policy = pin_policy::compact;
+};
+
+/// Deterministic thread→cpu and executor→node assignment. The arena
+/// mapping rides on the executor mapping: partition p's queues anchor at
+/// executor p % E (core/planner route(), dist::placement), so arena p
+/// belongs on executor (p % E)'s socket.
+struct placement_plan {
+  std::vector<unsigned> planner_cpu;    ///< [p] -> OS cpu
+  std::vector<unsigned> executor_cpu;   ///< [e] -> OS cpu
+  std::vector<unsigned> executor_node;  ///< [e] -> NUMA node of that cpu
+  unsigned epilogue_cpu = 0;   ///< epilogue worker (near the log device)
+  unsigned epilogue_node = 0;
+
+  /// NUMA node that should back arena `a` (= home of executor a % E).
+  unsigned node_of_arena(part_id_t a) const noexcept {
+    return executor_node.empty()
+               ? 0
+               : executor_node[a % executor_node.size()];
+  }
+
+  /// Multi-line thread→cpu / arena→node map (queccctl --verbose).
+  std::string describe(part_id_t arenas) const;
+};
+
+/// Compute the assignment for `spec` on `topo`:
+///   compact — executors pack node-major (consecutive executors share a
+///             socket, so a partition-striped workload stays socket-local);
+///   spread  — executors round-robin across nodes (maximizes memory
+///             bandwidth per executor at the cost of locality);
+///   none    — legacy raw-index assignment (cpu = thread index mod #cpus).
+/// Planners spread across nodes under every policy (they write into every
+/// executor's queues, so no socket is a better home than another), offset
+/// past the cpus executors claimed on each node; the epilogue worker lands
+/// on node 0 (where the log device's IRQ lines usually live).
+placement_plan compute_placement(const topology& topo,
+                                 const placement_spec& spec);
+
+// --- page binding ----------------------------------------------------------
+
+/// Best-effort bind of [addr, addr+len) to NUMA `node` via the raw mbind
+/// syscall, migrating already-touched pages (arena slabs are zero-filled
+/// by the loader before placement runs). Returns false on non-Linux,
+/// syscall failure, or a single-node topology (nothing to do).
+bool bind_memory_to_node(void* addr, std::size_t len, unsigned node) noexcept;
+
+/// NUMA node currently backing the page at `addr` (get_mempolicy); -1 when
+/// the platform cannot tell.
+int node_of_address(const void* addr) noexcept;
+
+}  // namespace quecc::common

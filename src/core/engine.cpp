@@ -70,6 +70,7 @@ void batch_slot::resolve_read_queues(storage::database& db) {
 quecc_engine::quecc_engine(storage::database& db, const common::config& cfg)
     : db_(db), cfg_(cfg), spec_(db) {
   cfg_.validate();
+  use_async_epilogue_ = cfg_.async_epilogue && cfg_.pipeline_depth >= 2;
   if (cfg_.iso == common::isolation::read_committed) {
     committed_ = std::make_unique<storage::dual_version_store>(db_);
   }
@@ -83,14 +84,26 @@ quecc_engine::quecc_engine(storage::database& db, const common::config& cfg)
   }
   pipe_.build(cfg_, db_, committed_.get());
 
+  if (cfg_.pin_threads || cfg_.numa_bind) {
+    plan_ = common::compute_placement(
+        common::system_topology(),
+        {cfg_.planner_threads, cfg_.executor_threads, cfg_.pin_mode});
+  }
+  // Bind arenas before workers start: the loader already faulted the slab
+  // pages, so the move must finish while nothing reads them.
+  if (cfg_.numa_bind) bind_arena_memory(db_, plan_);
+
   const worker_id_t planners = cfg_.planner_threads;
   const worker_id_t execs = cfg_.executor_threads;
-  threads_.reserve(static_cast<std::size_t>(planners) + execs);
+  threads_.reserve(static_cast<std::size_t>(planners) + execs + 1);
   for (worker_id_t p = 0; p < planners; ++p) {
     threads_.emplace_back([this, p] { planner_main(p); });
   }
   for (worker_id_t e = 0; e < execs; ++e) {
     threads_.emplace_back([this, e] { executor_main(e); });
+  }
+  if (use_async_epilogue_) {
+    threads_.emplace_back([this] { epilogue_main(); });
   }
 }
 
@@ -109,7 +122,7 @@ quecc_engine::~quecc_engine() {
 
 void quecc_engine::planner_main(worker_id_t p) {
   common::name_self("quecc-plan-" + std::to_string(p));
-  if (cfg_.pin_threads) common::pin_self_to(p);
+  if (cfg_.pin_threads) common::pin_self_to(plan_.planner_cpu[p]);
   for (std::uint64_t n = 0;; ++n) {
     {
       common::mutex_lock lk(mu_);
@@ -142,7 +155,7 @@ void quecc_engine::planner_main(worker_id_t p) {
 void quecc_engine::executor_main(worker_id_t e) {
   common::name_self("quecc-exec-" + std::to_string(e));
   if (cfg_.pin_threads) {
-    common::pin_self_to(cfg_.planner_threads + e);
+    common::pin_self_to(plan_.executor_cpu[e]);
   }
   executor& ex = *pipe_.executors[e];
   for (std::uint64_t n = 0;; ++n) {
@@ -150,19 +163,21 @@ void quecc_engine::executor_main(worker_id_t e) {
     {
       common::mutex_lock lk(mu_);
       // Execution stays sequential across slots: batch n runs only after
-      // batch n-1's epilogue (drained_ == n) — the per-slot inter-batch
-      // quiescent point that read-committed publishing, speculation
-      // recovery, and checkpoints rely on.
-      while (!((ready_ > n && drained_ == n) || stop_)) cv_.wait(lk);
-      if (stop_ && !(ready_ > n && drained_ == n)) return;
+      // batch n-1's state-mutating epilogue half (published_ == n) — the
+      // per-slot inter-batch quiescent point that read-committed
+      // publishing, speculation recovery, and checkpoints rely on. Only
+      // the previous batch's durable tail (fsync wait) may still be in
+      // flight on the epilogue worker.
+      while (!((ready_ > n && published_ == n) || stop_)) cv_.wait(lk);
+      if (stop_ && !(ready_ > n && published_ == n)) return;
       sp = pipe_.slots[n % cfg_.pipeline_depth].get();
       if (sp->exec_start_nanos == 0) {
         sp->exec_start_nanos = common::now_nanos();
-        // First executor in, still under mu_ (batch n-1 drained, nobody
-        // else running): resolve the RC read-queue rids at the quiescent
-        // point — they are claimed by any executor, so execution-time
-        // lookups would race with this batch's own inserts/erases. At
-        // depth 1 the planners already resolved them.
+        // First executor in, still under mu_ (batch n-1 published, nobody
+        // else touching the database): resolve the RC read-queue rids at
+        // the quiescent point — they are claimed by any executor, so
+        // execution-time lookups would race with this batch's own
+        // inserts/erases. At depth 1 the planners already resolved them.
         if (cfg_.pipeline_depth > 1) sp->resolve_read_queues(db_);
       }
     }
@@ -224,32 +239,56 @@ void quecc_engine::submit_batch(txn::batch& b, common::run_metrics& m) {
   if (wal_) log_batch_record(b);
 }
 
-bool quecc_engine::drain_batch() {
-  std::uint64_t n;
-  batch_slot* sp;
-  {
-    common::mutex_lock lk(mu_);
-    if (drained_ == submitted_) return false;  // nothing in flight
-    n = drained_;
-    while (exec_done_ <= n) cv_.wait(lk);
-    sp = pipe_.slots[n % cfg_.pipeline_depth].get();
+void quecc_engine::epilogue_main() {
+  common::name_self("quecc-epilogue");
+  if (cfg_.pin_threads) common::pin_self_to(plan_.epilogue_cpu);
+  for (std::uint64_t n = 0;; ++n) {
+    {
+      common::mutex_lock lk(mu_);
+      while (!(exec_done_ > n || stop_)) cv_.wait(lk);
+      if (stop_ && exec_done_ <= n) return;
+    }
+    run_epilogue(n);
   }
-  batch_slot& s = *sp;
+}
+
+void quecc_engine::run_epilogue(std::uint64_t n) {
+  batch_slot& s = *pipe_.slots[n % cfg_.pipeline_depth];
   txn::batch& b = *s.batch;
   common::run_metrics& m = *s.metrics;
 
-  // Commit epilogue at the quiescent point: executors for batch n+1 wait
-  // on drained_, so the executor logs read here are still batch n's.
-  // Planners may concurrently plan batches n+1.. — at depth >= 2 planning
-  // touches no shared mutable state (see planner.cpp).
+  // State-mutating half at the quiescent point: executors for batch n+1
+  // wait on published_, so the executor logs read here are still batch
+  // n's and nothing observes the database mid-recovery. Planners may
+  // concurrently plan batches n+1.. — at depth >= 2 planning touches no
+  // shared mutable state (see planner.cpp).
   const std::uint64_t epi0 = common::now_nanos();
   last_rec_ =
       batch_epilogue(db_, cfg_, b, pipe_.executors, spec_, committed_.get(), m);
-  // Commit record after the commit epilogue (statuses are final); the
-  // group-commit flusher picks it up, sync_durable() waits for it. Drain
-  // order == submission order, so commit records retain batch order in the
-  // log even while later batches' records interleave between them.
-  if (wal_) log_commit_record(b);
+  // Commit record after the commit epilogue (statuses are final, and with
+  // log_verify_hash it snapshots the post-recovery state hash); the
+  // group-commit flusher picks it up. Epilogue order == submission order,
+  // so commit records retain batch order in the log even while later
+  // batches' records interleave between them. A due checkpoint runs here
+  // too — still pre-publish, because it scans the database.
+  std::uint64_t commit_lsn = 0;
+  if (wal_) commit_lsn = log_commit_record(b);
+
+  {
+    common::mutex_lock lk(mu_);
+    published_ = n + 1;  // releases executors into batch n+1
+    cv_.notify_all();
+  }
+
+  // Durable tail, overlapped with batch n+1's execution (async mode; the
+  // inline epilogue keeps the legacy contract where sync_durable() or the
+  // flusher timer absorbs the fsync).
+  if (wal_ && use_async_epilogue_) {
+    const std::uint64_t f0 = common::now_nanos();
+    wal_->wait_durable(commit_lsn);
+    obs::record_span(obs::trace_stage::fsync, f0, common::now_nanos() - f0,
+                     b.id(), static_cast<std::uint32_t>(n % cfg_.pipeline_depth));
+  }
   const std::uint64_t epi1 = common::now_nanos();
   static const obs::histogram epi_hist("engine.epilogue_nanos");
   epi_hist.record_nanos(epi1 - epi0);
@@ -258,8 +297,8 @@ bool quecc_engine::drain_batch() {
   obs::record_span(obs::trace_stage::epilogue, epi0, epi1 - epi0, b.id(),
                    static_cast<std::uint32_t>(n % cfg_.pipeline_depth));
 
-  // Per-slot phase stats (the engine-wide snapshot is only ever written
-  // here, on the single drain thread).
+  // Per-slot phase stats (epilogue-owner state: only ever written here, on
+  // the one thread that retires batches).
   phase_stats ph;
   ph.plan_seconds = static_cast<double>(s.ready_nanos - s.submit_nanos) / 1e9;
   ph.exec_seconds =
@@ -279,7 +318,7 @@ bool quecc_engine::drain_batch() {
                (committed_ ? cfg_.executor_threads : 0));
   // Overlap: intersect this batch's planning window with the execution
   // windows of the batches it could have overlapped (the previous
-  // pipeline_depth - 1 drained batches).
+  // pipeline_depth - 1 retired batches).
   for (const auto& [x0, x1] : recent_exec_windows_) {
     const std::uint64_t lo = std::max(s.submit_nanos, x0);
     const std::uint64_t hi = std::min(s.ready_nanos, x1);
@@ -294,11 +333,13 @@ bool quecc_engine::drain_batch() {
   m.batches += 1;
   m.plan_busy_seconds += ph.plan_busy_seconds;
   m.exec_busy_seconds += ph.exec_busy_seconds;
+  m.epilogue_busy_seconds += ph.epilogue_seconds;
   m.pipeline_overlap_seconds += ph.overlap_seconds;
   // Elapsed time without double counting across overlapping batches:
-  // charge each drain the wall time since the previous drain, clipped to
-  // this batch's own submission (so idle gaps between lockstep run_batch
-  // calls are not charged — depth 1 matches the old stopwatch exactly).
+  // charge each retirement the wall time since the previous one, clipped
+  // to this batch's own submission (so idle gaps between lockstep
+  // run_batch calls are not charged — depth 1 matches the old stopwatch
+  // exactly).
   const std::uint64_t drain_nanos = common::now_nanos();
   const std::uint64_t from = std::max(s.submit_nanos, last_drain_nanos_);
   m.elapsed_seconds += static_cast<double>(drain_nanos - from) / 1e9;
@@ -306,9 +347,34 @@ bool quecc_engine::drain_batch() {
 
   {
     common::mutex_lock lk(mu_);
-    s.batch = nullptr;
-    s.metrics = nullptr;
-    drained_ = n + 1;  // frees the slot, releases executors into batch n+1
+    if (wal_) last_commit_lsn_ = commit_lsn;
+    epilogue_done_ = n + 1;
+    cv_.notify_all();
+  }
+}
+
+bool quecc_engine::drain_batch() {
+  std::uint64_t n;
+  batch_slot* sp;
+  {
+    common::mutex_lock lk(mu_);
+    if (drained_ == submitted_) return false;  // nothing in flight
+    n = drained_;
+    if (use_async_epilogue_) {
+      // Third stage owns the epilogue: just await its counter.
+      while (epilogue_done_ <= n) cv_.wait(lk);
+    } else {
+      while (exec_done_ <= n) cv_.wait(lk);
+    }
+    sp = pipe_.slots[n % cfg_.pipeline_depth].get();
+  }
+  if (!use_async_epilogue_) run_epilogue(n);
+
+  {
+    common::mutex_lock lk(mu_);
+    sp->batch = nullptr;
+    sp->metrics = nullptr;
+    drained_ = n + 1;  // frees the slot for submit_batch
     cv_.notify_all();
   }
   return true;
@@ -386,7 +452,7 @@ void quecc_engine::log_batch_record(const txn::batch& b) {
                    common::now_nanos() - t0, b.id());
 }
 
-void quecc_engine::log_commit_record(const txn::batch& b) {
+std::uint64_t quecc_engine::log_commit_record(const txn::batch& b) {
   log::commit_info c;
   c.batch_id = b.id();
   c.txn_count = static_cast<std::uint32_t>(b.size());
@@ -403,11 +469,11 @@ void quecc_engine::log_commit_record(const txn::batch& b) {
 
   std::vector<std::byte> payload;
   log::encode_commit(c, payload);
-  last_commit_lsn_ = wal_->append(log::record_type::commit, payload);
+  const std::uint64_t lsn = wal_->append(log::record_type::commit, payload);
   wal_->request_flush();
 
   // Batch-boundary checkpoint: we sit at the inter-batch quiescent point
-  // (executors for the next batch are parked on drained_; planners touch
+  // (executors for the next batch are parked on published_; planners touch
   // no database state at depth >= 2), so the snapshot is
   // transaction-consistent by construction. The new checkpoint covers
   // every logged batch; rotate and drop the old segments (checkpoint file
@@ -420,25 +486,52 @@ void quecc_engine::log_commit_record(const txn::batch& b) {
     // Batches still in the pipeline appended their batch records at
     // submit time — into the segments just truncated. Re-append them so
     // recovery can replay past this checkpoint (their commit records land
-    // later, in drain order). Safe without the stage mutex: only this
-    // thread submits/drains, and at depth >= 2 planners never write into
-    // batch contents.
+    // later, in retirement order). Batch contents are frozen (planners
+    // never write them at depth >= 2). In async mode the submit thread may
+    // append the same batch record concurrently — log_writer::append
+    // serializes the frames internally and replay is last-record-wins per
+    // batch id, so the duplicate is benign in every interleaving (an
+    // append that landed in a truncated segment is re-covered here; one
+    // landing after the rotation sits in the fresh segment on its own).
     std::uint64_t first_inflight, end_inflight;
     {
       common::mutex_lock lk(mu_);
-      first_inflight = drained_ + 1;  // drained_ == the batch draining now
+      first_inflight = published_ + 1;  // published_ == the batch retiring
       end_inflight = submitted_;
     }
     for (std::uint64_t k = first_inflight; k < end_inflight; ++k) {
-      // quecc-ok(phase): drain thread re-appends at the quiescent point;
+      // quecc-ok(phase): epilogue re-appends at the quiescent point;
       // batch contents are frozen (planners never write them at depth >= 2)
       log_batch_record(*pipe_.slots[k % cfg_.pipeline_depth]->batch);
     }
   }
+  return lsn;
 }
 
 void quecc_engine::sync_durable() {
-  if (wal_) wal_->wait_durable(last_commit_lsn_);
+  if (!wal_) return;
+  std::uint64_t lsn;
+  {
+    common::mutex_lock lk(mu_);
+    lsn = last_commit_lsn_;
+  }
+  wal_->wait_durable(lsn);
+}
+
+void bind_arena_memory(storage::database& db,
+                       const common::placement_plan& plan) {
+  for (table_id_t t = 0; t < db.table_count(); ++t) {
+    storage::table& tb = db.at(t);
+    for (part_id_t s = 0; s < tb.shard_count(); ++s) {
+      tb.bind_shard_to_node(s, plan.node_of_arena(s));
+      // One gauge per arena index (shared across tables — they stripe
+      // identically), capped well below the registry's gauge budget.
+      if (t == 0 && s < 32) {
+        const obs::gauge g("storage.arena_node." + std::to_string(s));
+        g.set(tb.shard_numa_node(s));
+      }
+    }
+  }
 }
 
 }  // namespace quecc::core

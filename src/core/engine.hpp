@@ -11,16 +11,27 @@
 //                  --> [commit epilogue: speculative-abort recovery,
 //                       status marking, read-committed publish]
 //
-// The two phases are independent *across* batches, so the engine runs them
-// as a two-stage pipeline over a ring of config::pipeline_depth batch
+// The phases are independent *across* batches, so the engine runs them as
+// a three-stage pipeline over a ring of config::pipeline_depth batch
 // slots: planners start on batch i+1 the moment batch i's queues are
 // handed to the executors (submit_batch fills a free slot, the plan-stage
-// group fills its queues, the exec-stage group drains them). Execution and
-// the commit epilogue stay strictly sequential by batch id — drain_batch
-// retires slots in submission order at the inter-batch quiescent point —
-// which is what keeps speculation recovery, read-committed publishing,
-// checkpoints, and the determinism contract identical at every depth.
-// pipeline_depth == 1 degenerates to the paper's lockstep.
+// group fills its queues, the exec-stage group drains them), and a
+// dedicated epilogue worker retires batch i while batch i+1 already
+// executes. The epilogue splits at the publication point:
+//
+//   * the state-mutating half (speculative recovery, status marking,
+//     read-committed publish, checkpoints, commit-record append) runs at
+//     the per-slot quiescent point — executors of batch i+1 stay parked on
+//     published_ until it finishes, which is what keeps results
+//     bit-identical at every depth;
+//   * the durable tail (group-commit fsync wait) and the batch accounting
+//     run after published_ advances, overlapped with batch i+1's
+//     execution — the fsync leaves the drain-to-drain critical path.
+//
+// Execution and the epilogue stay strictly sequential by batch id;
+// drain_batch merely awaits epilogue_done_. pipeline_depth == 1 (or
+// config::async_epilogue off) degenerates to the inline epilogue on the
+// drain caller — the paper's lockstep at depth 1.
 //
 // Within one slot, stage hand-offs provide the only inter-thread
 // happens-before edges the queues need — there is no concurrency control
@@ -38,6 +49,7 @@
 #include "common/mutex.hpp"
 #include "common/phase_annotations.hpp"
 #include "common/thread_annotations.hpp"
+#include "common/topology.hpp"
 #include "core/executor.hpp"
 #include "core/planner.hpp"
 #include "core/spec_manager.hpp"
@@ -59,6 +71,14 @@ EPILOGUE_PHASE recovery_stats batch_epilogue(
     storage::database& db, const common::config& cfg, txn::batch& b,
     std::span<const std::unique_ptr<executor>> executors, spec_manager& spec,
     storage::dual_version_store* committed, common::run_metrics& m);
+
+/// Bind every table's arenas to the NUMA nodes the placement plan assigns
+/// (plan.node_of_arena — the socket of the executor owning the arena's
+/// partition) and publish the result as storage.arena_node.<s> gauges.
+/// Best-effort: single-node machines record node 0 and move nothing. Call
+/// before workers start (the binding migrates loader-touched pages).
+void bind_arena_memory(storage::database& db,
+                       const common::placement_plan& plan);
 
 /// Per-phase accounting of one batch (Figure 1 reproduction + pipeline
 /// observability). Wall times are per-stage windows; busy times are summed
@@ -172,8 +192,17 @@ class quecc_engine final : public proto::engine {
  private:
   PLAN_PHASE void planner_main(worker_id_t p);
   EXEC_PHASE void executor_main(worker_id_t e);
+  EPILOGUE_PHASE void epilogue_main();
+  /// Retire batch n: quiescent epilogue half, advance published_, durable
+  /// tail + accounting, advance epilogue_done_. Runs on the epilogue
+  /// worker (async mode) or on the drain caller (inline mode) — exactly
+  /// one of the two for an engine's lifetime.
+  EPILOGUE_PHASE void run_epilogue(std::uint64_t n);
   PLAN_PHASE void log_batch_record(const txn::batch& b);
-  EPILOGUE_PHASE void log_commit_record(const txn::batch& b);
+  /// Append batch b's commit record (+ take a due checkpoint) and return
+  /// the commit record's lsn. Quiescent-half only: the checkpoint scans
+  /// the database and the commit record may carry its state hash.
+  EPILOGUE_PHASE std::uint64_t log_commit_record(const txn::batch& b);
 
   storage::database& db_;
   common::config cfg_;
@@ -182,34 +211,61 @@ class quecc_engine final : public proto::engine {
 
   pipeline pipe_;
 
+  /// Epilogue runs on the dedicated worker (third pipeline stage) instead
+  /// of inline on the drain caller. Fixed at construction:
+  /// cfg.async_epilogue && pipeline_depth >= 2 (depth 1 has nothing to
+  /// overlap with, so it keeps the inline epilogue — today's lockstep).
+  bool use_async_epilogue_ = false;
+
+  /// Topology-aware thread->cpu / arena->node assignment, computed when
+  /// pin_threads or numa_bind ask for it (empty plan otherwise).
+  common::placement_plan plan_;
+
   // --- stage synchronization ---------------------------------------------
   // Monotonic batch counters: a batch's slot is counter % pipeline_depth.
-  // Planners advance on submitted_, executors on ready_ (gated by drained_
-  // so execution stays sequential across slots), the drain path on
-  // exec_done_. All guarded by mu_; cv_ carries every hand-off. The
-  // batch_slot fields themselves are published *through* these counters
-  // (written before the counter advance under mu_, read after observing
-  // it), which is why they carry no GUARDED_BY of their own.
+  // Planners advance on submitted_, executors on ready_ (gated by
+  // published_ so execution stays sequential across slots and never
+  // overtakes the previous batch's state-mutating epilogue half), the
+  // epilogue stage on exec_done_, the drain path on epilogue_done_. All
+  // guarded by mu_; cv_ carries every hand-off. The batch_slot fields
+  // themselves are published *through* these counters (written before the
+  // counter advance under mu_, read after observing it), which is why they
+  // carry no GUARDED_BY of their own.
   common::mutex mu_;
   common::cond_var cv_;
   std::uint64_t submitted_ GUARDED_BY(mu_) = 0;  ///< handed to plan stage
   std::uint64_t ready_ GUARDED_BY(mu_) = 0;      ///< batches fully planned
   std::uint64_t exec_done_ GUARDED_BY(mu_) = 0;  ///< batches fully executed
-  std::uint64_t drained_ GUARDED_BY(mu_) = 0;    ///< retired (epilogue done)
+  /// Batches whose state-mutating epilogue half finished (spec recovery,
+  /// RC publish, checkpoint, commit-record append): executors of the next
+  /// batch are released by this counter.
+  std::uint64_t published_ GUARDED_BY(mu_) = 0;
+  /// Batches whose full epilogue (durable tail + accounting) finished;
+  /// drain_batch waits here.
+  std::uint64_t epilogue_done_ GUARDED_BY(mu_) = 0;
+  std::uint64_t drained_ GUARDED_BY(mu_) = 0;  ///< retired (slot freed)
   bool stop_ GUARDED_BY(mu_) = false;
 
-  // Drain-thread-only state (single-caller API, like run_batch).
+  // Epilogue-owner state: touched only by run_epilogue, which runs on
+  // exactly one thread for the engine's lifetime (the epilogue worker in
+  // async mode, the single drain caller in inline mode). Readers of
+  // last_rec_/phases_ synchronize through drain_batch's epilogue_done_
+  // wait under mu_.
   std::uint64_t last_drain_nanos_ = 0;
   std::deque<std::pair<std::uint64_t, std::uint64_t>> recent_exec_windows_;
-
-  std::vector<std::thread> threads_;
   recovery_stats last_rec_;
   phase_stats phases_;
+
+  std::vector<std::thread> threads_;
 
   // --- durability (cfg_.durable; see src/log/) ---------------------------
   std::unique_ptr<log::log_writer> wal_;
   std::unique_ptr<log::checkpointer> ckpt_;
-  std::uint64_t last_commit_lsn_ = 0;   ///< wait target for sync_durable()
+  /// Lsn of the newest *retired* batch's commit record — the wait target
+  /// for sync_durable(), which runs on the submit/drain thread while the
+  /// epilogue worker keeps publishing new lsns.
+  std::uint64_t last_commit_lsn_ GUARDED_BY(mu_) = 0;
+  // Epilogue-owner state (see above).
   std::uint64_t durable_stream_pos_ = 0;  ///< cumulative txns logged
   std::uint32_t batches_since_ckpt_ = 0;
 };

@@ -34,19 +34,30 @@ dist_quecc_engine::dist_quecc_engine(storage::database& db,
       net_(cfg.nodes, cfg.net_latency_micros),
       spec_(db) {
   cfg_.validate();
+  use_async_epilogue_ = cfg_.async_epilogue && cfg_.pipeline_depth >= 2;
   if (cfg_.iso == common::isolation::read_committed) {
     committed_ = std::make_unique<storage::dual_version_store>(db_);
   }
   pipe_.build(cfg_, db_, committed_.get());
 
+  if (cfg_.pin_threads || cfg_.numa_bind) {
+    plan_ = common::compute_placement(
+        common::system_topology(),
+        {cfg_.planner_threads, cfg_.executor_threads, cfg_.pin_mode});
+  }
+  if (cfg_.numa_bind) core::bind_arena_memory(db_, plan_);
+
   const worker_id_t planners = cfg_.planner_threads;
   const worker_id_t execs = cfg_.executor_threads;
-  threads_.reserve(static_cast<std::size_t>(planners) + execs);
+  threads_.reserve(static_cast<std::size_t>(planners) + execs + 1);
   for (worker_id_t p = 0; p < planners; ++p) {
     threads_.emplace_back([this, p] { planner_main(p); });
   }
   for (worker_id_t e = 0; e < execs; ++e) {
     threads_.emplace_back([this, e] { executor_main(e); });
+  }
+  if (use_async_epilogue_) {
+    threads_.emplace_back([this] { epilogue_main(); });
   }
 }
 
@@ -64,7 +75,7 @@ dist_quecc_engine::~dist_quecc_engine() {
 void dist_quecc_engine::planner_main(worker_id_t p) {
   common::name_self("dq-n" + std::to_string(pl_.node_of_planner(p)) +
                     "-plan-" + std::to_string(p));
-  if (cfg_.pin_threads) common::pin_self_to(p);
+  if (cfg_.pin_threads) common::pin_self_to(plan_.planner_cpu[p]);
   for (std::uint64_t n = 0;; ++n) {
     {
       common::mutex_lock lk(mu_);
@@ -101,14 +112,17 @@ void dist_quecc_engine::planner_main(worker_id_t p) {
 void dist_quecc_engine::executor_main(worker_id_t e) {
   common::name_self("dq-n" + std::to_string(pl_.node_of_executor(e)) +
                     "-exec-" + std::to_string(e));
-  if (cfg_.pin_threads) common::pin_self_to(cfg_.planner_threads + e);
+  if (cfg_.pin_threads) common::pin_self_to(plan_.executor_cpu[e]);
   core::executor& ex = *pipe_.executors[e];
   for (std::uint64_t n = 0;; ++n) {
     core::batch_slot* sp;
     {
       common::mutex_lock lk(mu_);
-      while (!((ready_ > n && drained_ == n) || stop_)) cv_.wait(lk);
-      if (stop_ && !(ready_ > n && drained_ == n)) return;
+      // Gated by published_ (see core/engine.cpp): the previous batch's
+      // state-mutating epilogue half must finish first; only its commit
+      // broadcast may still be in flight on the epilogue worker.
+      while (!((ready_ > n && published_ == n) || stop_)) cv_.wait(lk);
+      if (stop_ && !(ready_ > n && published_ == n)) return;
       sp = pipe_.slots[n % cfg_.pipeline_depth].get();
       if (sp->exec_start_nanos == 0) {
         sp->exec_start_nanos = common::now_nanos();
@@ -212,17 +226,21 @@ void dist_quecc_engine::submit_batch(txn::batch& b, common::run_metrics& m) {
   cv_.notify_all();
 }
 
-bool dist_quecc_engine::drain_batch() {
-  std::uint64_t n;
-  core::batch_slot* sp;
-  {
-    common::mutex_lock lk(mu_);
-    if (drained_ == submitted_) return false;
-    n = drained_;
-    while (exec_done_ <= n) cv_.wait(lk);
-    sp = pipe_.slots[n % cfg_.pipeline_depth].get();
+void dist_quecc_engine::epilogue_main() {
+  common::name_self("dq-epilogue");
+  if (cfg_.pin_threads) common::pin_self_to(plan_.epilogue_cpu);
+  for (std::uint64_t n = 0;; ++n) {
+    {
+      common::mutex_lock lk(mu_);
+      while (!(exec_done_ > n || stop_)) cv_.wait(lk);
+      if (stop_ && exec_done_ <= n) return;
+    }
+    run_epilogue(n);
   }
-  core::batch_slot& s = *sp;
+}
+
+void dist_quecc_engine::run_epilogue(std::uint64_t n) {
+  core::batch_slot& s = *pipe_.slots[n % cfg_.pipeline_depth];
   txn::batch& b = *s.batch;
   common::run_metrics& m = *s.metrics;
 
@@ -233,10 +251,21 @@ bool dist_quecc_engine::drain_batch() {
   // The nodes share one deterministic view of the batch, so the commit
   // epilogue (speculative recovery + status marking) runs once globally —
   // the paradigm's "no 2PC" commit. Executors for the next batch wait on
-  // drained_, so this is the per-slot inter-batch quiescent point.
+  // published_, so this is the per-slot inter-batch quiescent point.
   const std::uint64_t epi0 = common::now_nanos();
   core::batch_epilogue(db_, cfg_, b, pipe_.executors, spec_,
                        committed_.get(), m);
+
+  {
+    common::mutex_lock lk(mu_);
+    published_ = n + 1;  // releases executors into batch n+1
+    cv_.notify_all();
+  }
+
+  // Commit broadcast after the publication point: it mutates no database
+  // state (the commit decision was implicit in the deterministic phases),
+  // so batch n+1's execution overlaps the round's simulated latency.
+  // net_mu_ still serializes it against bundle shipments.
   if (pl_.nodes > 1) {
     common::mutex_lock nl(net_mu_);
     commit_round(b.id());
@@ -257,10 +286,11 @@ bool dist_quecc_engine::drain_batch() {
   m.exec_busy_seconds +=
       static_cast<double>(s.exec_busy_nanos.load(std::memory_order_relaxed)) /
       1e9;
+  m.epilogue_busy_seconds += static_cast<double>(epi1 - epi0) / 1e9;
   // Message accounting by snapshot delta: the network counter is shared
   // with bundle rounds of batches still being planned, so per-batch resets
-  // would race — the cumulative delta per drain attributes every message
-  // exactly once across the run.
+  // would race — the cumulative delta per retirement attributes every
+  // message exactly once across the run.
   const std::uint64_t sent = net_.messages_sent();
   m.messages += sent - last_messages_;
   last_messages_ = sent;
@@ -271,8 +301,31 @@ bool dist_quecc_engine::drain_batch() {
 
   {
     common::mutex_lock lk(mu_);
-    s.batch = nullptr;
-    s.metrics = nullptr;
+    epilogue_done_ = n + 1;
+    cv_.notify_all();
+  }
+}
+
+bool dist_quecc_engine::drain_batch() {
+  std::uint64_t n;
+  core::batch_slot* sp;
+  {
+    common::mutex_lock lk(mu_);
+    if (drained_ == submitted_) return false;
+    n = drained_;
+    if (use_async_epilogue_) {
+      while (epilogue_done_ <= n) cv_.wait(lk);
+    } else {
+      while (exec_done_ <= n) cv_.wait(lk);
+    }
+    sp = pipe_.slots[n % cfg_.pipeline_depth].get();
+  }
+  if (!use_async_epilogue_) run_epilogue(n);
+
+  {
+    common::mutex_lock lk(mu_);
+    sp->batch = nullptr;
+    sp->metrics = nullptr;
     drained_ = n + 1;
     cv_.notify_all();
   }

@@ -22,11 +22,16 @@
 //
 // Like the centralized engine, batches pipeline over a ring of
 // config::pipeline_depth slots: planners move on to batch i+1 (and the
-// last planner ships its bundles) while batch i still executes, so the
-// per-node epilogue no longer serializes planning. Execution, the
-// done/commit rounds, and the global epilogue stay sequential by batch id.
-// All network rounds run under one mutex so a bundle shipment for batch
-// i+1 never steals the done/commit messages of batch i.
+// last planner ships its bundles) while batch i still executes, and the
+// done/commit rounds split around the publication point the same way the
+// centralized epilogue does — the done round and the global deterministic
+// epilogue run at the quiescent point (pre-publish), while the commit
+// broadcast and the batch accounting run on the epilogue worker after
+// executors were released into batch i+1 (the broadcast mutates no
+// database state, so overlapping it is safe). Execution and the epilogue
+// stay sequential by batch id. All network rounds run under one mutex so
+// a bundle shipment for batch i+1 never steals the done/commit messages
+// of batch i.
 #pragma once
 
 #include <atomic>
@@ -72,6 +77,12 @@ class dist_quecc_engine final : public proto::engine {
  private:
   PLAN_PHASE void planner_main(worker_id_t p);
   EXEC_PHASE void executor_main(worker_id_t e);
+  EPILOGUE_PHASE void epilogue_main();
+  /// Retire batch n: done round + global epilogue at the quiescent point,
+  /// advance published_, commit broadcast + accounting, advance
+  /// epilogue_done_. Runs on the epilogue worker (async mode) or the
+  /// drain caller (inline mode) — exactly one of the two per engine.
+  EPILOGUE_PHASE void run_epilogue(std::uint64_t n);
 
   /// Ship every planner's remote queue bundles and block until each node
   /// received all bundles addressed to it (one one-way latency, since the
@@ -103,8 +114,17 @@ class dist_quecc_engine final : public proto::engine {
   std::uint64_t submitted_ GUARDED_BY(mu_) = 0;
   std::uint64_t ready_ GUARDED_BY(mu_) = 0;  ///< planned AND bundles landed
   std::uint64_t exec_done_ GUARDED_BY(mu_) = 0;
+  /// State-mutating epilogue half done; releases executors (see
+  /// core/engine.hpp — same three-stage counter scheme).
+  std::uint64_t published_ GUARDED_BY(mu_) = 0;
+  std::uint64_t epilogue_done_ GUARDED_BY(mu_) = 0;
   std::uint64_t drained_ GUARDED_BY(mu_) = 0;
   bool stop_ GUARDED_BY(mu_) = false;
+
+  /// Third-stage switch, fixed at construction (see core::quecc_engine).
+  bool use_async_epilogue_ = false;
+  /// Topology-aware thread->cpu assignment (pin_threads/numa_bind).
+  common::placement_plan plan_;
 
   /// Serializes every use of net_: the plan-bundle round (planner thread)
   /// and the done/commit rounds (drain thread) each consume exactly the
@@ -112,7 +132,8 @@ class dist_quecc_engine final : public proto::engine {
   /// batches cannot steal each other's messages. Never nested with mu_.
   common::mutex net_mu_;
 
-  // Drain-thread-only state.
+  // Epilogue-owner state: touched only by run_epilogue, which runs on
+  // exactly one thread for the engine's lifetime.
   std::uint64_t last_drain_nanos_ = 0;
   std::uint64_t last_messages_ = 0;  ///< net counter snapshot at last drain
 

@@ -73,6 +73,7 @@ std::string format_pipeline(const common::run_metrics& m,
      << pct(m.plan_busy_seconds, planner_threads * m.elapsed_seconds)
      << "% | exec "
      << pct(m.exec_busy_seconds, executor_threads * m.elapsed_seconds)
+     << "% | epilogue " << pct(m.epilogue_busy_seconds, m.elapsed_seconds)
      << "% | overlap "
      << pct(m.pipeline_overlap_seconds, m.exec_busy_seconds)
      << "% of exec";
@@ -91,6 +92,7 @@ void write_run_metrics_json(obs::json_writer& w,
   w.kv("elapsed_seconds", m.elapsed_seconds);
   w.kv("plan_busy_seconds", m.plan_busy_seconds);
   w.kv("exec_busy_seconds", m.exec_busy_seconds);
+  w.kv("epilogue_busy_seconds", m.epilogue_busy_seconds);
   w.kv("pipeline_overlap_seconds", m.pipeline_overlap_seconds);
   w.key("txn_latency");
   obs::write_histogram_json(w, m.txn_latency);

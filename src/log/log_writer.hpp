@@ -72,7 +72,10 @@ class log_writer {
 
   /// Append one framed record (buffered write, no fsync). Returns the LSN
   /// just past the record — pass it to wait_durable for a durable ack.
-  /// Single appender by design (the engine's batch loop).
+  /// Thread-safe: mu_ serializes whole frames, so the engine's submit
+  /// thread (batch records) and its epilogue worker (commit records,
+  /// checkpoint re-appends) may append concurrently — frames interleave
+  /// but never tear, and each caller's own records keep their order.
   lsn_t append(record_type type, std::span<const std::byte> payload);
 
   /// Nudge the flusher without blocking (fire-and-forget durability).

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/topology.hpp"
+
 namespace quecc::storage {
 
 namespace {
@@ -120,6 +122,21 @@ std::uint64_t table::state_hash() const {
     acc += h;
   });
   return acc;
+}
+
+bool table::bind_shard_to_node(part_id_t s, unsigned node) {
+  shard& sh = *shards_[s];
+  const bool slab_ok = common::bind_memory_to_node(
+      sh.slots.get(), sh.capacity * row_size_, node);
+  // Meta rides along (baseline protocols hammer it from the same
+  // executor); its failure does not demote the slab's binding.
+  if (!sh.meta.empty()) {
+    common::bind_memory_to_node(sh.meta.data(),
+                                sh.meta.size() * sizeof(row_meta), node);
+  }
+  const int actual = common::node_of_address(sh.slots.get());
+  sh.numa_node = actual >= 0 ? actual : (slab_ok ? static_cast<int>(node) : -1);
+  return slab_ok;
 }
 
 }  // namespace quecc::storage

@@ -228,6 +228,22 @@ class table {
   /// compare engines and recovery paths.
   std::uint64_t state_hash() const;
 
+  // --- NUMA placement -----------------------------------------------------
+  /// Best-effort bind of shard `s`'s row slab + meta pages to NUMA `node`
+  /// (raw mbind with page migration — slabs are zero-filled at allocation,
+  /// so their pages already faulted on the loader's node; see
+  /// common/topology.hpp). Records the node actually backing the slab
+  /// afterwards, queryable via shard_numa_node(). Returns true when the
+  /// kernel accepted the move; false (and no behavior change) on
+  /// single-node machines or unsupported platforms.
+  bool bind_shard_to_node(part_id_t s, unsigned node);
+
+  /// NUMA node backing shard `s`'s slab as recorded by the last
+  /// bind_shard_to_node call (-1 = never bound / unknown).
+  int shard_numa_node(part_id_t s) const noexcept {
+    return shards_[s]->numa_node;
+  }
+
  private:
   /// One partition's arena: row slab + meta + index shard + allocator.
   struct shard {
@@ -247,6 +263,9 @@ class table {
     std::vector<std::uint64_t> free_slots GUARDED_BY(free_lock);
     std::atomic<std::uint32_t> free_count{0};
     std::size_t capacity;
+    /// NUMA node backing the slab (-1 until bind_shard_to_node ran).
+    /// Written once at placement time, before workers start.
+    int numa_node = -1;
   };
 
   table_id_t id_;

@@ -1,8 +1,12 @@
-// Unit tests: common substrate (rng, zipf, spinlock, stats, config, pool).
+// Unit tests: common substrate (rng, zipf, spinlock, stats, config, pool,
+// topology/placement).
 #include <gtest/gtest.h>
 
 #include <array>
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -13,7 +17,9 @@
 #include "common/spinlock.hpp"
 #include "common/stats.hpp"
 #include "common/thread_util.hpp"
+#include "common/topology.hpp"
 #include "common/zipf.hpp"
+#include "obs/metrics.hpp"
 
 namespace quecc {
 namespace {
@@ -363,6 +369,173 @@ TEST(Types, TxnIdPacking) {
   const auto id = make_txn_id(7, 1234);
   EXPECT_EQ(txn_id_batch(id), 7u);
   EXPECT_EQ(txn_id_seq(id), 1234u);
+}
+
+// --- topology / NUMA placement (common/topology.hpp) ------------------------
+
+TEST(Topology, ParseCpulistHandlesRangesCommasAndJunk) {
+  using V = std::vector<unsigned>;
+  EXPECT_EQ(common::parse_cpulist("0-3,8,10-11"), (V{0, 1, 2, 3, 8, 10, 11}));
+  EXPECT_EQ(common::parse_cpulist(" 2 , 0-1 \n"), (V{0, 1, 2}));
+  EXPECT_EQ(common::parse_cpulist("3,1,2-3"), (V{1, 2, 3}));  // sort + dedup
+  EXPECT_TRUE(common::parse_cpulist("").empty());
+  EXPECT_TRUE(common::parse_cpulist("garbage").empty());
+  EXPECT_TRUE(common::parse_cpulist("5-2").empty());  // inverted range
+}
+
+/// Synthetic two-socket topology: node 0 owns cpus 0-3, node 2 owns 4-7
+/// (sparse node ids, like a real box with a disabled socket in between).
+common::topology two_socket_topo() {
+  common::topology t;
+  t.nodes.push_back({0, {0, 1, 2, 3}});
+  t.nodes.push_back({2, {4, 5, 6, 7}});
+  return t;
+}
+
+TEST(Topology, ReadTopologyParsesFakeSysfsAndSkipsCpulessNodes) {
+  namespace fs = std::filesystem;
+  std::string root = (fs::temp_directory_path() / "quecc-sysfs-XXXXXX").string();
+  ASSERT_NE(::mkdtemp(root.data()), nullptr);
+  fs::create_directories(root + "/node0");
+  fs::create_directories(root + "/node1");
+  fs::create_directories(root + "/node3");
+  std::ofstream(root + "/node0/cpulist") << "0-1\n";
+  std::ofstream(root + "/node1/cpulist") << "\n";  // memory-only node
+  std::ofstream(root + "/node3/cpulist") << "2-3\n";
+
+  const common::topology t = common::read_topology(root);
+  ASSERT_EQ(t.nodes.size(), 2u);  // cpuless node1 skipped, sparse id kept
+  EXPECT_EQ(t.nodes[0].id, 0u);
+  EXPECT_EQ(t.nodes[1].id, 3u);
+  EXPECT_TRUE(t.multi_node());
+  EXPECT_EQ(t.cpu_count(), 4u);
+  EXPECT_EQ(t.flatten(), (std::vector<unsigned>{0, 1, 2, 3}));
+  EXPECT_EQ(t.node_of_cpu(3), 3u);
+  EXPECT_EQ(t.node_of_cpu(99), 0u);  // unknown cpu -> first node
+
+  std::error_code ec;
+  fs::remove_all(root, ec);
+}
+
+TEST(Topology, ReadTopologyFallsBackToSingleNode) {
+  const common::topology t =
+      common::read_topology("/nonexistent/quecc-sysfs");
+  ASSERT_EQ(t.nodes.size(), 1u);
+  EXPECT_FALSE(t.multi_node());
+  EXPECT_EQ(t.cpu_count(), common::hardware_threads());
+}
+
+TEST(Placement, CompactPacksExecutorsNodeMajor) {
+  const auto topo = two_socket_topo();
+  common::placement_spec spec;
+  spec.planners = 2;
+  spec.executors = 6;
+  spec.policy = common::pin_policy::compact;
+  const auto plan = common::compute_placement(topo, spec);
+  // Executors 0-3 fill node 0's cpus, 4-5 start node 2's.
+  EXPECT_EQ(plan.executor_cpu,
+            (std::vector<unsigned>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(plan.executor_node,
+            (std::vector<unsigned>{0, 0, 0, 0, 2, 2}));
+  // Arena a belongs on executor (a % E)'s socket.
+  EXPECT_EQ(plan.node_of_arena(0), 0u);
+  EXPECT_EQ(plan.node_of_arena(4), 2u);
+  EXPECT_EQ(plan.node_of_arena(6), 0u);  // wraps: 6 % 6 = executor 0
+}
+
+TEST(Placement, SpreadRoundRobinsExecutorsAcrossNodes) {
+  const auto topo = two_socket_topo();
+  common::placement_spec spec;
+  spec.planners = 2;
+  spec.executors = 4;
+  spec.policy = common::pin_policy::spread;
+  const auto plan = common::compute_placement(topo, spec);
+  EXPECT_EQ(plan.executor_node, (std::vector<unsigned>{0, 2, 0, 2}));
+  EXPECT_EQ(plan.executor_cpu, (std::vector<unsigned>{0, 4, 1, 5}));
+}
+
+TEST(Placement, NoneKeepsLegacyRawIndexAssignment) {
+  const auto topo = two_socket_topo();
+  common::placement_spec spec;
+  spec.planners = 2;
+  spec.executors = 2;
+  spec.policy = common::pin_policy::none;
+  const auto plan = common::compute_placement(topo, spec);
+  EXPECT_EQ(plan.planner_cpu, (std::vector<unsigned>{0, 1}));
+  EXPECT_EQ(plan.executor_cpu, (std::vector<unsigned>{2, 3}));  // p + e
+  EXPECT_EQ(plan.epilogue_cpu, 4u);
+  EXPECT_EQ(plan.epilogue_node, 2u);  // attribution still topology-aware
+}
+
+TEST(Placement, PlannersSpreadAndEpilogueLandsOnNodeZero) {
+  const auto topo = two_socket_topo();
+  common::placement_spec spec;
+  spec.planners = 4;
+  spec.executors = 4;
+  spec.policy = common::pin_policy::compact;
+  const auto plan = common::compute_placement(topo, spec);
+  // Executors claimed node 0's cpus 0-3; planners alternate nodes and
+  // claim past what executors took on each node.
+  EXPECT_EQ(plan.planner_cpu, (std::vector<unsigned>{0, 4, 1, 5}));
+  EXPECT_EQ(plan.epilogue_node, 0u);
+  // Placement computation never touches affinity — pure function.
+  const auto again = common::compute_placement(topo, spec);
+  EXPECT_EQ(plan.planner_cpu, again.planner_cpu);
+  EXPECT_EQ(plan.executor_cpu, again.executor_cpu);
+}
+
+TEST(Placement, DescribeListsThreadsAndArenas) {
+  const auto topo = two_socket_topo();
+  common::placement_spec spec;
+  spec.planners = 1;
+  spec.executors = 2;
+  spec.policy = common::pin_policy::compact;
+  const auto plan = common::compute_placement(topo, spec);
+  const std::string map = plan.describe(4);
+  EXPECT_NE(map.find("planner 0"), std::string::npos);
+  EXPECT_NE(map.find("executor 1"), std::string::npos);
+  EXPECT_NE(map.find("epilogue"), std::string::npos);
+  EXPECT_NE(map.find("arena 3"), std::string::npos);
+}
+
+TEST(Topology, BindMemoryDegradesCleanlyOnSingleNode) {
+  // On a single-node box (CI) binding must be a clean no-op, never an
+  // error path that crashes; on multi-node boxes it is best-effort.
+  alignas(4096) static char page[4096];
+  if (!common::system_topology().multi_node()) {
+    EXPECT_FALSE(common::bind_memory_to_node(page, sizeof page, 0));
+  }
+  EXPECT_FALSE(common::bind_memory_to_node(nullptr, 64, 0));
+  EXPECT_FALSE(common::bind_memory_to_node(page, 0, 0));
+  (void)common::node_of_address(page);  // must not crash; -1 is fine
+}
+
+TEST(ThreadUtil, PinPastCpuCountWrapsAndCounts) {
+  // Satellite of the three-stage PR: pinning past the machine's cpu count
+  // used to be a silent no-op (oversubscribed --pin-threads runs gave no
+  // hint several workers shared one core). It must now wrap through the
+  // topology and bump thread.pin_wrapped_total.
+  auto wrapped_total = [] {
+    const auto snap = obs::snapshot_metrics();
+    for (const auto& [name, v] : snap.counters) {
+      if (name == "thread.pin_wrapped_total") return v;
+    }
+    return std::uint64_t{0};
+  };
+  const auto before = wrapped_total();
+  bool ok = false;
+  std::thread t([&] {
+    ok = common::pin_self_to(common::hardware_threads() + 7);
+  });
+  t.join();
+#if !defined(QUECC_OBS_COMPILED_OUT)
+  if (ok) {  // platforms refusing affinity: nothing to assert
+    EXPECT_GT(wrapped_total(), before);
+  }
+#else
+  (void)ok;
+  (void)before;  // inert registry: the wrap itself must still work
+#endif
 }
 
 }  // namespace

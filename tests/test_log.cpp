@@ -741,35 +741,74 @@ std::vector<log::commit_info> scan_commits(const std::string& dir) {
 TEST(PipelinedLog, CommitRecordsRetainBatchOrderAcrossOverlappingSlots) {
   // At depth >= 2 batch records of later batches interleave between
   // earlier batches' commit records, but the commit records themselves —
-  // appended at drain time — must stay in batch-id order with a monotone
+  // appended in the epilogue — must stay in batch-id order with a monotone
   // stream position: recovery's "committed prefix" notion depends on it.
+  // This must hold with the third pipeline stage both off (commit records
+  // appended by the drain caller) and on (appended by the epilogue worker
+  // while the group-commit fsync of batch i overlaps batch i+1's exec).
+  for (const bool stage3 : {false, true}) {
+    temp_dir dir;
+    wl::ycsb w(small_ycsb());
+    storage::database db;
+    w.load(db);
+    common::config cfg = small_engine_cfg();
+    cfg.pipeline_depth = 3;
+    cfg.async_epilogue = stage3;
+    cfg.durable = true;
+    cfg.log_dir = dir.path;
+    {
+      core::quecc_engine eng(db, cfg);
+      common::rng r(kSeed);
+      common::run_metrics m;
+      std::deque<txn::batch> inflight;
+      for (std::uint32_t i = 0; i < 8; ++i) {
+        inflight.push_back(w.make_batch(r, kBatchSize, i));
+        eng.submit_batch(inflight.back(), m);
+      }
+      while (eng.drain_batch()) {
+      }
+      eng.sync_durable();
+    }
+    const auto commits = scan_commits(dir.path);
+    ASSERT_EQ(commits.size(), 8u);
+    for (std::uint32_t i = 0; i < commits.size(); ++i) {
+      EXPECT_EQ(commits[i].batch_id, i) << "stage3=" << stage3;
+      EXPECT_EQ(commits[i].stream_pos, std::uint64_t{i + 1} * kBatchSize)
+          << "stage3=" << stage3;
+    }
+  }
+}
+
+TEST(PipelinedLog, ThreeStageDurableRunRecoversToLockstepHash) {
+  // Depth-3 with the async epilogue: group-commit fsyncs of batch i run
+  // concurrently with batch i+1's execution, and checkpoints still land at
+  // the quiescent point. Recovery must reproduce the lockstep hash.
   temp_dir dir;
   wl::ycsb w(small_ycsb());
   storage::database db;
   w.load(db);
   common::config cfg = small_engine_cfg();
   cfg.pipeline_depth = 3;
+  cfg.async_epilogue = true;
   cfg.durable = true;
   cfg.log_dir = dir.path;
+  cfg.checkpoint_interval_batches = 3;
+  cfg.log_verify_hash = true;
+  cfg.group_commit_micros = 500;  // wide window: fsync waits really overlap
   {
     core::quecc_engine eng(db, cfg);
-    common::rng r(kSeed);
-    common::run_metrics m;
-    std::deque<txn::batch> inflight;
-    for (std::uint32_t i = 0; i < 8; ++i) {
-      inflight.push_back(w.make_batch(r, kBatchSize, i));
-      eng.submit_batch(inflight.back(), m);
-    }
-    while (eng.drain_batch()) {
-    }
-    eng.sync_durable();
+    harness::run_options opts;
+    opts.batches = 8;
+    opts.batch_size = kBatchSize;
+    opts.seed = kSeed;
+    opts.durability = true;
+    const auto res = harness::run_workload(eng, w, db, opts);
+    EXPECT_EQ(res.final_state_hash, reference_hash(8, kBatchSize, kSeed));
   }
-  const auto commits = scan_commits(dir.path);
-  ASSERT_EQ(commits.size(), 8u);
-  for (std::uint32_t i = 0; i < commits.size(); ++i) {
-    EXPECT_EQ(commits[i].batch_id, i);
-    EXPECT_EQ(commits[i].stream_pos, std::uint64_t{i + 1} * kBatchSize);
-  }
+  const auto rec = recover_fresh(dir.path);
+  EXPECT_TRUE(rec.res.checkpoint_loaded);
+  EXPECT_EQ(rec.res.txns_applied, 8u * kBatchSize);
+  EXPECT_EQ(rec.hash, reference_hash(8, kBatchSize, kSeed));
 }
 
 TEST(PipelinedLog, PipelinedDurableRunRecoversToLockstepHash) {

@@ -194,6 +194,144 @@ TEST(PipelineDeterminism, ReadCommittedReadsMatchLockstepUnderIndexChurn) {
   EXPECT_EQ(lockstep.fingerprints, pipelined.fingerprints);
 }
 
+// --- third stage (async commit epilogue) -----------------------------------
+
+/// Hash of a fixed YCSB stream through any registered engine at the given
+/// depth, with the third pipeline stage (async epilogue) on or off. RC
+/// isolation: the epilogue publishes the committed image, so a misplaced
+/// publication point shows up directly in read values (and thus writes
+/// derived from them — the state hash).
+std::uint64_t stage3_hash(const std::string& engine, std::uint32_t depth,
+                          exec_model exec, bool stage3,
+                          isolation iso = isolation::read_committed) {
+  wl::ycsb_config wcfg;
+  wcfg.table_size = 4096;
+  wcfg.partitions = 4;
+  wcfg.zipf_theta = 0.8;
+  wcfg.read_ratio = 0.5;
+  wcfg.abort_ratio = 0.05;
+  wcfg.multi_partition_ratio = engine == "dist-quecc" ? 0.3 : 0.0;
+  wl::ycsb w(wcfg);
+  storage::database db;
+  w.load(db);
+  config cfg = base_cfg(depth, exec, iso);
+  cfg.partitions = 4;
+  cfg.async_epilogue = stage3;
+  if (engine == "dist-quecc") {
+    cfg.nodes = 2;
+    cfg.net_latency_micros = 10;
+  }
+  auto eng = proto::make_engine(engine, db, cfg);
+  harness::run_options opts;
+  opts.batches = 5;
+  opts.batch_size = 256;
+  opts.seed = 2027;
+  const auto res = harness::run_workload(*eng, w, db, opts);
+  EXPECT_EQ(res.metrics.committed + res.metrics.aborted, opts.total_txns());
+  return res.final_state_hash;
+}
+
+struct stage3_params {
+  const char* engine;
+  exec_model exec;
+};
+
+std::string stage3_name(const testing::TestParamInfo<stage3_params>& info) {
+  std::string e = info.param.engine;
+  for (auto& c : e) {
+    if (c == '-') c = '_';
+  }
+  return e + "_" +
+         (info.param.exec == exec_model::speculative ? "spec" : "cons");
+}
+
+class ThreeStageDeterminism : public testing::TestWithParam<stage3_params> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ThreeStageDeterminism,
+    testing::Values(stage3_params{"quecc", exec_model::speculative},
+                    stage3_params{"quecc", exec_model::conservative},
+                    stage3_params{"dist-quecc", exec_model::speculative},
+                    stage3_params{"dist-quecc", exec_model::conservative}),
+    stage3_name);
+
+TEST_P(ThreeStageDeterminism, RcHashesIdenticalAcrossDepthsAndStage3) {
+  // The whole depth x stage3 grid must collapse to one hash: the inline
+  // depth-1 lockstep (the paper's semantics) is the baseline.
+  const auto [engine, exec] = GetParam();
+  const auto baseline = stage3_hash(engine, 1, exec, /*stage3=*/false);
+  for (std::uint32_t depth : {1u, 2u, 3u}) {
+    for (bool s3 : {false, true}) {
+      EXPECT_EQ(stage3_hash(engine, depth, exec, s3), baseline)
+          << engine << " depth=" << depth << " stage3=" << s3;
+    }
+  }
+}
+
+TEST(ThreeStageDeterminism, SerializableAgreesWithInlineLockstep) {
+  const auto base = stage3_hash("quecc", 1, exec_model::speculative,
+                                /*stage3=*/false, isolation::serializable);
+  EXPECT_EQ(stage3_hash("quecc", 3, exec_model::speculative, true,
+                        isolation::serializable),
+            base);
+  EXPECT_EQ(stage3_hash("quecc", 3, exec_model::speculative, false,
+                        isolation::serializable),
+            base);
+}
+
+TEST(ThreeStageApi, EpilogueWorkerDtorDrainsLeftoverBatches) {
+  // Depth-3, async epilogue on, no explicit drain: the destructor must
+  // retire every in-flight batch *through the epilogue worker* (all
+  // accounting lands in m) before joining threads.
+  wl::ycsb_config wcfg;
+  wcfg.table_size = 2048;
+  wl::ycsb w(wcfg);
+  auto db = testutil::make_loaded_db(w);
+  auto db_ref = db->clone();
+  common::rng r(21), rr(21);
+  common::run_metrics m;
+  std::deque<txn::batch> inflight;
+  {
+    auto cfg = base_cfg(3, exec_model::speculative);
+    cfg.async_epilogue = true;
+    core::quecc_engine eng(*db, cfg);
+    for (int i = 0; i < 3; ++i) {
+      inflight.push_back(w.make_batch(r, 128, i));
+      eng.submit_batch(inflight.back(), m);
+    }
+  }
+  EXPECT_EQ(m.batches, 3u);
+  EXPECT_EQ(m.committed + m.aborted, 3u * 128u);
+
+  auto cfg_ref = base_cfg(1, exec_model::speculative);
+  cfg_ref.async_epilogue = false;
+  core::quecc_engine ref(*db_ref, cfg_ref);
+  common::run_metrics mr;
+  for (int i = 0; i < 3; ++i) {
+    auto b = w.make_batch(rr, 128, i);
+    ref.run_batch(b, mr);
+  }
+  EXPECT_EQ(db->state_hash(), db_ref->state_hash());
+  EXPECT_EQ(m.committed, mr.committed);
+}
+
+TEST(ThreeStageStats, EpilogueBusyIsAccountedAndSurfaced) {
+  wl::ycsb_config wcfg;
+  wcfg.table_size = 4096;
+  wl::ycsb w(wcfg);
+  auto db = testutil::make_loaded_db(w);
+  auto cfg = base_cfg(3, exec_model::speculative);
+  cfg.iso = isolation::read_committed;  // publish work makes epilogue busy
+  core::quecc_engine eng(*db, cfg);
+  harness::run_options opts;
+  opts.batches = 4;
+  opts.batch_size = 1024;
+  const auto res = harness::run_workload(eng, w, *db, opts);
+  EXPECT_GT(res.metrics.epilogue_busy_seconds, 0.0);
+  EXPECT_NE(res.metrics.summary("quecc").find("epilogue_busy="),
+            std::string::npos);
+}
+
 TEST(PipelineDeterminism, DistQueccDepth2MatchesLockstep) {
   auto hash_at = [](std::uint32_t depth) {
     wl::ycsb_config wcfg;
