@@ -4,6 +4,7 @@
 //            [--batch-size N] [--planners N] [--executors N] [--workers N]
 //            [--pipeline-depth N] [--partitions N] [--nodes N] [--theta F]
 //            [--read-ratio F] [--mp-ratio F] [--warehouses N]
+//            [--index hash|ordered] [--tpcc-full] [--scan-ratio F]
 //            [--exec spec|cons] [--iso ser|rc] [--seed N] [--latency-us N]
 //            [--arrival-rate TPS] [--batch-deadline-us N]
 //            [--log-dir DIR] [--durable] [--recover]
@@ -40,7 +41,16 @@
 // none = legacy raw-index pinning). --numa additionally mbinds each
 // storage arena's pages onto the socket of the executor owning it
 // (best-effort; no-op on single-node machines). --verbose prints the
-// machine topology and the resolved thread->cpu / arena->node map.
+// machine topology, the resolved thread->cpu / arena->node map, and the
+// storage catalog (per-table index backend and shard count).
+//
+// Storage: --index hash|ordered selects the index backend for every
+// workload table (hash = point lookups only; ordered = per-arena skip
+// list supporting range scans). --tpcc-full switches TPC-C to the full
+// scan-based 5-txn mix (OrderStatus and StockLevel execute genuine
+// ordered range scans; implies ordered ORDER-LINE). --scan-ratio F makes
+// that fraction of YCSB transactions YCSB-E style range scans (implies
+// an ordered usertable).
 //
 // Durability (quecc engine only): --durable --log-dir DIR command-logs
 // every planned batch and fsyncs a commit record per batch (group commit,
@@ -96,6 +106,9 @@ struct options {
   double read_ratio = 0.5;
   double mp_ratio = 0.0;
   std::uint32_t warehouses = 1;
+  storage::index_kind index = storage::index_kind::hash;
+  bool tpcc_full = false;   ///< full scan-based 5-txn TPC-C mix
+  double scan_ratio = 0.0;  ///< YCSB-E style scan transaction fraction
   std::uint64_t seed = 42;
   double arrival_rate = 0.0;  ///< txn/s; > 0 selects the open-loop path
   bool recover = false;       ///< recover from cfg.log_dir, then resume
@@ -200,6 +213,19 @@ bool parse(options& o, int argc, char** argv) {
       o.mp_ratio = std::atof(need(i));
     } else if (a == "--warehouses") {
       o.warehouses = static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (a == "--index") {
+      const std::string v = need(i);
+      if (v == "hash") {
+        o.index = storage::index_kind::hash;
+      } else if (v == "ordered") {
+        o.index = storage::index_kind::ordered;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (a == "--tpcc-full") {
+      o.tpcc_full = true;
+    } else if (a == "--scan-ratio") {
+      o.scan_ratio = std::atof(need(i));
     } else if (a == "--seed") {
       o.seed = static_cast<std::uint64_t>(std::atoll(need(i)));
     } else if (a == "--exec") {
@@ -225,6 +251,8 @@ std::unique_ptr<wl::workload> make_workload(const options& o) {
     w.zipf_theta = o.theta;
     w.read_ratio = o.read_ratio;
     w.multi_partition_ratio = o.mp_ratio;
+    w.scan_ratio = o.scan_ratio;
+    w.index = o.index;
     return std::make_unique<wl::ycsb>(w);
   }
   if (o.workload == "tpcc") {
@@ -233,6 +261,8 @@ std::unique_ptr<wl::workload> make_workload(const options& o) {
     w.partitions = o.cfg.partitions;
     w.order_headroom_per_district =
         o.batches * o.batch_size / 10 + 2000;
+    w.scan_profiles = o.tpcc_full;
+    w.index = o.index;
     return std::make_unique<wl::tpcc>(w);
   }
   if (o.workload == "bank") {
@@ -291,6 +321,22 @@ void print_placement(const options& o) {
   }
 }
 
+// --verbose: per-table index backend as loaded — the catalog's view of the
+// storage seam, so a run's scan capability is visible up front.
+void print_catalog(const options& o, const storage::database& db) {
+  FILE* out = report_stream(o);
+  std::fprintf(out, "catalog: %zu table(s)\n",
+               static_cast<std::size_t>(db.table_count()));
+  for (table_id_t id = 0; id < db.table_count(); ++id) {
+    const storage::table& t = db.at(id);
+    std::uint64_t rows = 0;
+    for (part_id_t s = 0; s < t.shard_count(); ++s) rows += t.live_rows_in(s);
+    std::fprintf(out, "  %-12s index=%-8s shards=%-3u rows=%" PRIu64 "\n",
+                 t.name().c_str(), storage::index_kind_name(t.index()),
+                 t.shard_count(), rows);
+  }
+}
+
 // --metrics-json / --trace-out emission after a run (normal or recovery).
 int emit_observability(const options& o, const common::run_metrics& m,
                        std::uint64_t hash) {
@@ -326,6 +372,7 @@ int run_recovery(options& o) {
   auto w = make_workload(o);
   storage::database db;
   w->load(db);
+  if (o.verbose) print_catalog(o, db);
 
   // Replay must go through a non-durable engine: a durable one would
   // append the log to itself (and log_writer refuses a dirty directory).
@@ -422,6 +469,7 @@ int main(int argc, char** argv) {
   auto w = make_workload(o);
   storage::database db;
   w->load(db);
+  if (o.verbose) print_catalog(o, db);
 
   std::unique_ptr<proto::engine> eng;
   try {

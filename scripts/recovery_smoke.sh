@@ -10,6 +10,11 @@
 # pure replay of the full stream landing on the same hash — that asserts
 # the resumed run really kept appending.
 #
+# Two legs: YCSB on the hash index (the original smoke), and the full
+# scan-based 5-txn TPC-C mix on the ordered index (--tpcc-full), which
+# additionally exercises v3 checkpoints of ordered arenas and scan-fragment
+# (key_hi) plan-log round-trips.
+#
 # Usage: scripts/recovery_smoke.sh [build-dir]   (default: build)
 set -eu
 
@@ -20,45 +25,58 @@ CTL=$BUILD/examples/queccctl
 
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
-# --partitions 4 (explicit) so the run exercises sharded storage: four
-# per-partition arenas, v2 per-shard checkpoints, and shard-aware restore.
-ARGS="--workload ycsb --batches 48 --batch-size 1024 --seed 7 \
+
+run_leg() {
+    NAME=$1
+    ARGS=$2
+    LOG="$TMP/log-$NAME"
+
+    # Reference: the uninterrupted (in-memory) run of the same stream.
+    REF=$($CTL $ARGS | sed -n 's/^state hash: //p')
+    [ -n "$REF" ] || { echo "recovery smoke [$NAME]: no reference hash"; exit 1; }
+
+    # Durable run, killed hard mid-flight (whatever batches managed to
+    # fsync a commit record survive; an in-flight write may leave a torn
+    # tail).
+    $CTL $ARGS --durable --log-dir "$LOG" --checkpoint-every 8 \
+        > "$TMP/run.out" 2>&1 &
+    PID=$!
+    sleep 0.4
+    kill -9 "$PID" 2>/dev/null || true
+    wait "$PID" 2>/dev/null || true
+
+    # Recover + resume must land on the reference hash, wherever the kill
+    # hit.
+    GOT=$($CTL $ARGS --recover --log-dir "$LOG" | tee "$TMP/recover.out" \
+          | sed -n 's/^state hash: //p')
+    if [ "$REF" != "$GOT" ]; then
+        echo "recovery smoke [$NAME]: hash mismatch (ref=$REF got=$GOT)"
+        cat "$TMP/recover.out"
+        exit 1
+    fi
+
+    # The resumed run continued the log in place: recovering it again must
+    # be a full replay (no resumed txns left) that lands on the same hash.
+    AGAIN=$($CTL $ARGS --recover --log-dir "$LOG" \
+            | tee "$TMP/recover2.out" | sed -n 's/^state hash: //p')
+    if [ "$REF" != "$AGAIN" ]; then
+        echo "recovery smoke [$NAME]: resumed-log replay mismatch" \
+             "(ref=$REF got=$AGAIN)"
+        cat "$TMP/recover2.out"
+        exit 1
+    fi
+    if grep -q '^resumed durably' "$TMP/recover2.out"; then
+        echo "recovery smoke [$NAME]: second recovery still had txns to resume"
+        cat "$TMP/recover2.out"
+        exit 1
+    fi
+    echo "recovery smoke [$NAME]: ok (state hash $REF)"
+}
+
+# --partitions 4 (explicit) so the runs exercise sharded storage: four
+# per-partition arenas, per-shard checkpoints, and shard-aware restore.
+run_leg ycsb "--workload ycsb --batches 48 --batch-size 1024 --seed 7 \
 --pipeline-depth 2 --partitions 4"
 
-# Reference: the uninterrupted (in-memory) run of the same stream.
-REF=$($CTL $ARGS | sed -n 's/^state hash: //p')
-[ -n "$REF" ] || { echo "recovery smoke: no reference hash"; exit 1; }
-
-# Durable run, killed hard mid-flight (whatever batches managed to fsync a
-# commit record survive; an in-flight write may leave a torn tail).
-$CTL $ARGS --durable --log-dir "$TMP/log" --checkpoint-every 8 \
-    > "$TMP/run.out" 2>&1 &
-PID=$!
-sleep 0.4
-kill -9 "$PID" 2>/dev/null || true
-wait "$PID" 2>/dev/null || true
-
-# Recover + resume must land on the reference hash, wherever the kill hit.
-GOT=$($CTL $ARGS --recover --log-dir "$TMP/log" | tee "$TMP/recover.out" \
-      | sed -n 's/^state hash: //p')
-if [ "$REF" != "$GOT" ]; then
-    echo "recovery smoke: hash mismatch (ref=$REF got=$GOT)"
-    cat "$TMP/recover.out"
-    exit 1
-fi
-
-# The resumed run continued the log in place: recovering it again must be
-# a full replay (no resumed txns left) that lands on the same hash.
-AGAIN=$($CTL $ARGS --recover --log-dir "$TMP/log" | tee "$TMP/recover2.out" \
-        | sed -n 's/^state hash: //p')
-if [ "$REF" != "$AGAIN" ]; then
-    echo "recovery smoke: resumed-log replay mismatch (ref=$REF got=$AGAIN)"
-    cat "$TMP/recover2.out"
-    exit 1
-fi
-if grep -q '^resumed durably' "$TMP/recover2.out"; then
-    echo "recovery smoke: second recovery still had txns to resume"
-    cat "$TMP/recover2.out"
-    exit 1
-fi
-echo "recovery smoke: ok (state hash $REF)"
+run_leg tpcc-full "--workload tpcc --tpcc-full --index ordered --batches 24 \
+--batch-size 1024 --seed 7 --pipeline-depth 2 --partitions 4"

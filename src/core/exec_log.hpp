@@ -36,6 +36,9 @@ struct read_entry {
   seq_t seq = 0;
   table_id_t table = 0;
   key_t key = kInvalidKey;
+  /// Scan fragments log one entry for the whole range [key, hi); point
+  /// reads leave hi == 0 (ranges are never empty, so hi > key disambiguates).
+  key_t hi = 0;
 };
 
 struct exec_logs {

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <utility>
 
 #include "common/spinlock.hpp"
 
@@ -32,6 +33,7 @@ void executor::run_read_queues(std::span<const frag_queue* const> queues,
 void executor::process(const frag_entry& e) {
   txn::txn_desc& t = *e.t;
   const txn::fragment& f = *e.f;
+  current_part_ = e.part;
 
   if (t.aborted()) {
     skip(e);
@@ -167,6 +169,31 @@ bool executor::erase_row(const txn::fragment& f, txn::txn_desc& t) {
   logs_.undo.push_back(
       {t.seq, f.table, f.key, rid, txn::op_kind::erase, 0, 0});
   return true;
+}
+
+bool executor::scan_rows(const txn::fragment& f, txn::txn_desc& t,
+                         scan_row_fn fn, void* ctx) {
+  // One range read entry covers every row the scan saw — and every row it
+  // did NOT see: speculation recovery taints this transaction when an
+  // affected writer touched *any* key in [key, key_hi), which is exactly
+  // the phantom protection a per-row read log could not give.
+  if (!reading_committed_ &&
+      cfg_.execution == common::exec_model::speculative) {
+    logs_.reads.push_back({t.seq, f.table, f.key, f.key_hi});
+  }
+  struct tramp_ctx {
+    storage::table* tab;
+    scan_row_fn fn;
+    void* ctx;
+  } tc{&db_.at(f.table), fn, ctx};
+  return tc.tab->visit_range_in(
+      current_part_, f.key, f.key_hi,
+      [](void* raw, key_t k, storage::row_id_t rid) {
+        auto* c = static_cast<tramp_ctx*>(raw);
+        return c->fn(c->ctx, k,
+                     std::as_const(*c->tab).row(rid));
+      },
+      &tc);
 }
 
 }  // namespace quecc::core

@@ -60,6 +60,11 @@ class executor final : public txn::frag_host {
   EXEC_PHASE std::span<std::byte> insert_row(const txn::fragment& f,
                                              txn::txn_desc& t) override;
   EXEC_PHASE bool erase_row(const txn::fragment& f, txn::txn_desc& t) override;
+  /// Ordered range read over the current queue entry's partition (a
+  /// kAllParts scan reaches this executor once per fanned-out partition;
+  /// its logic accumulates via txn_desc::produce_partial).
+  EXEC_PHASE bool scan_rows(const txn::fragment& f, txn::txn_desc& t,
+                            scan_row_fn fn, void* ctx) override;
 
  private:
   EXEC_PHASE void process(const frag_entry& e);
@@ -82,6 +87,9 @@ class executor final : public txn::frag_host {
   common::latency_histogram latency_;
   std::uint64_t batch_start_nanos_ = 0;
   bool reading_committed_ = false;  ///< true while draining read queues
+  /// Effective partition of the entry being processed; scan_rows scans it
+  /// (the fragment itself may carry the kAllParts sentinel).
+  part_id_t current_part_ = 0;
 };
 
 }  // namespace quecc::core

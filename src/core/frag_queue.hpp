@@ -23,9 +23,15 @@ namespace quecc::core {
 /// fragment pointer is non-const because under pipelining the engine
 /// resolves read-queue rids at the pre-execution quiescent point (see
 /// batch_slot::resolve_read_queues); executors treat fragments as const.
+///
+/// `part` is the entry's *effective* partition. It equals f->part except
+/// for cross-partition scan fragments (f->part == txn::kAllParts), which
+/// the planner fans out into one entry per partition — the shared fragment
+/// cannot carry the per-entry partition, so the queue entry does.
 struct frag_entry {
   txn::txn_desc* t = nullptr;
   txn::fragment* f = nullptr;
+  part_id_t part = 0;
 };
 
 /// Deterministic queue priority: (planner id, position). Executors drain

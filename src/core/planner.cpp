@@ -28,7 +28,8 @@ bool planner::goes_to_read_queue(const txn::fragment& f,
          ((writer_needed >> f.output_slot) & 1) == 0;
 }
 
-worker_id_t planner::route(const txn::fragment& f) const noexcept {
+worker_id_t planner::route(const txn::fragment& f,
+                           part_id_t part) const noexcept {
   // Node placement follows the record's home partition (data really lives
   // somewhere); *within* a node, queues are split by a per-record hash so
   // that even a single hot partition (1-warehouse TPC-C) spreads across
@@ -36,19 +37,35 @@ worker_id_t planner::route(const txn::fragment& f) const noexcept {
   // with thread-to-transaction designs (Section 5). Same record => same
   // partition => same node, and same key hash => same executor: conflict
   // dependencies still collapse into one FIFO queue.
+  //
+  // Tables on an ordered index hash by (table, partition) instead: a range
+  // conflicts with every key inside it, so a scan and the point writes it
+  // could observe must collapse into the *same* FIFO — per-key spreading
+  // would order them by executor timing, not queue position. Point-only
+  // workloads on ordered tables keep identical results (all ops on a key
+  // still share one queue); they just trade intra-partition spread for
+  // range-conflict determinism.
   const auto executors = cfg_.executor_threads;
   const auto e_per_node = static_cast<worker_id_t>(executors / cfg_.nodes);
   const auto node =
-      static_cast<worker_id_t>((f.part % executors) / e_per_node);
-  const std::uint64_t h = record_hash(f.table, f.key);
+      static_cast<worker_id_t>((part % executors) / e_per_node);
+  const bool ordered =
+      db_.at(f.table).index() == storage::index_kind::ordered;
+  const std::uint64_t h =
+      ordered ? record_hash(f.table, part) : record_hash(f.table, f.key);
   return static_cast<worker_id_t>(node * e_per_node + h % e_per_node);
 }
 
 std::uint64_t planner::writer_needed_slots(const txn::txn_desc& t) noexcept {
   std::uint64_t needed = 0;
   for (auto it = t.frags.rbegin(); it != t.frags.rend(); ++it) {
+    // Scans never qualify for the read queues (goes_to_read_queue requires
+    // kind == read), so like updates they pin their inputs to the conflict
+    // queues — an executor draining conflict queues must never wait on a
+    // slot produced from an unclaimed read queue.
     const bool pinned_to_conflict =
-        it->updates_database() || it->abortable ||
+        it->updates_database() || it->kind == txn::op_kind::scan ||
+        it->abortable ||
         (it->output_slot != txn::kNoSlot &&
          ((needed >> it->output_slot) & 1) != 0);
     if (pinned_to_conflict) needed |= it->input_mask;
@@ -94,14 +111,32 @@ void planner::plan(txn::batch& b, plan_output& out) {
       // partition => same queue => FIFO guarantees visibility). The lookup
       // routes to the key's home arena and takes no index lock — planning
       // sits at the inter-batch quiescent point here (depth 1).
-      if (resolve_index && f.kind != txn::op_kind::insert) {
+      // Cross-partition scans fan out into one conflict-queue entry per
+      // partition (the fragment's partition is the kAllParts sentinel; the
+      // entry carries the effective one). The txn's fragment count and the
+      // producing slot grow accordingly — safe to mutate here even under
+      // pipelining, because execution is serialized across batches: no
+      // executor touches this batch until every planner finished it.
+      if (f.kind == txn::op_kind::scan && f.part == txn::kAllParts) {
+        const auto parts = static_cast<part_id_t>(cfg_.partitions);
+        if (f.output_slot != txn::kNoSlot) t.arm_slot(f.output_slot, parts);
+        // relaxed: pre-execution mutation, published by the stage hand-off.
+        t.remaining_frags.fetch_add(parts - 1, std::memory_order_relaxed);
+        for (part_id_t p = 0; p < parts; ++p) {
+          out.conflict[route(f, p)].push({&t, &f, p});
+          ++out.planned_frags;
+        }
+        continue;
+      }
+      if (resolve_index && f.kind != txn::op_kind::insert &&
+          f.kind != txn::op_kind::scan) {
         f.rid = db_.at(f.table).lookup_local(f.key, f.part);
       }
-      const auto e = route(f);
+      const auto e = route(f, f.part);
       if (goes_to_read_queue(f, writer_needed)) {
-        out.reads[e].push({&t, &f});
+        out.reads[e].push({&t, &f, f.part});
       } else {
-        out.conflict[e].push({&t, &f});
+        out.conflict[e].push({&t, &f, f.part});
       }
       ++out.planned_frags;
     }

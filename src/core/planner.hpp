@@ -61,8 +61,12 @@ class planner {
       const txn::txn_desc& t) noexcept;
 
   /// Queue routing: node by home partition, executor within the node by a
-  /// per-record hash (intra-partition parallelism).
-  PLAN_PHASE worker_id_t route(const txn::fragment& f) const noexcept;
+  /// per-record hash (intra-partition parallelism) — except for tables on
+  /// an ordered index, which route by partition so scans and the point
+  /// writes inside their key range share one FIFO. `part` is the entry's
+  /// effective partition (== f.part except fanned-out kAllParts scans).
+  PLAN_PHASE worker_id_t route(const txn::fragment& f,
+                               part_id_t part) const noexcept;
 
   worker_id_t id_;
   const common::config& cfg_;

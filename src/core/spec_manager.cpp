@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <tuple>
 #include <unordered_map>
+#include <utility>
 
 #include "protocols/local_host.hpp"
 #include "txn/procedure.hpp"
@@ -54,20 +56,58 @@ recovery_stats spec_manager::recover(txn::batch& b,
   //      touches, later in sequence order, must be undone and replayed
   //      *after* it — otherwise the affected txn's serial re-execution
   //      would observe values from its own future.
+  // Ranges get their own bookkeeping with REAL keys (a fingerprint cannot
+  // answer containment): executed scans logged one read entry covering
+  // [lo, hi), and the undo log names every key actually written. Phantom
+  // safety falls out: a writer inserting/erasing a key a scan did not see
+  // still lands inside the scan's logged interval.
+  struct range_read {
+    seq_t seq;
+    table_id_t table;
+    key_t lo;
+    key_t hi;
+  };
+  std::vector<range_read> range_reads;
+  bool batch_has_scans = false;
+  for (const auto& tp : b) {
+    for (const auto& f : tp->frags) {
+      if (f.kind == txn::op_kind::scan) {
+        batch_has_scans = true;
+        break;
+      }
+    }
+    if (batch_has_scans) break;
+  }
+
   std::unordered_map<std::uint64_t, std::vector<seq_t>> accessors;
   std::unordered_map<std::uint64_t, std::vector<seq_t>> writers;
   std::unordered_map<seq_t, std::vector<std::uint64_t>> written;
+  // Edge (a) over ranges needs the affected txn's written keys verbatim;
+  // edge (b) over ranges needs all written (table, key, seq) sorted for
+  // interval queries. Only materialized when the batch planned scans.
+  std::unordered_map<seq_t, std::vector<std::pair<table_id_t, key_t>>>
+      written_keys;
+  std::vector<std::tuple<table_id_t, key_t, seq_t>> write_keys_sorted;
   for (const exec_logs* log : logs) {
     for (const auto& r : log->reads) {
-      accessors[rec_id(r.table, r.key)].push_back(r.seq);
+      if (r.hi != 0) {
+        range_reads.push_back({r.seq, r.table, r.key, r.hi});
+      } else {
+        accessors[rec_id(r.table, r.key)].push_back(r.seq);
+      }
     }
     for (const auto& u : log->undo) {
       const auto rec = rec_id(u.table, u.key);
       accessors[rec].push_back(u.seq);
       writers[rec].push_back(u.seq);
       written[u.seq].push_back(rec);
+      if (batch_has_scans) {
+        written_keys[u.seq].emplace_back(u.table, u.key);
+        write_keys_sorted.emplace_back(u.table, u.key, u.seq);
+      }
     }
   }
+  std::sort(write_keys_sorted.begin(), write_keys_sorted.end());
   // In-place per-key sort: each visit mutates only its own value vector and
   // nothing is emitted, so map iteration order cannot reach any output.
   // quecc-ok(unordered): independent per-key mutation, no output
@@ -90,6 +130,14 @@ recovery_stats spec_manager::recover(txn::batch& b,
         }
       };
 
+  const auto taint_seq = [&](seq_t s) {
+    if (!affected[s]) {
+      affected[s] = 1;
+      ++stats.cascades;
+      worklist.push_back(s);
+    }
+  };
+
   while (!worklist.empty()) {
     const seq_t t = worklist.back();
     worklist.pop_back();
@@ -98,8 +146,35 @@ recovery_stats spec_manager::recover(txn::batch& b,
         taint_after(accessors, rec, t);  // edge (a)
       }
     }
+    // Edge (a) over ranges: a scan later in order whose interval covers a
+    // key this affected txn actually wrote read dirty data.
+    if (!range_reads.empty()) {
+      if (auto wk = written_keys.find(t); wk != written_keys.end()) {
+        for (const auto& [tb, k] : wk->second) {
+          for (const auto& rr : range_reads) {
+            if (rr.seq > t && rr.table == tb && rr.lo <= k && k < rr.hi) {
+              taint_seq(rr.seq);
+            }
+          }
+        }
+      }
+    }
     for (const auto& f : b.at(t).frags) {
-      taint_after(writers, rec_id(f.table, f.key), t);  // edge (b)
+      if (f.kind == txn::op_kind::scan) {
+        // Edge (b) over ranges: a later writer of ANY key inside this
+        // txn's scan interval must be undone and replayed after it —
+        // including phantom inserts/erases the original scan never saw.
+        auto lo = std::lower_bound(
+            write_keys_sorted.begin(), write_keys_sorted.end(),
+            std::tuple<table_id_t, key_t, seq_t>{f.table, f.key, 0});
+        for (; lo != write_keys_sorted.end() &&
+               std::get<0>(*lo) == f.table && std::get<1>(*lo) < f.key_hi;
+             ++lo) {
+          if (std::get<2>(*lo) > t) taint_seq(std::get<2>(*lo));
+        }
+      } else {
+        taint_after(writers, rec_id(f.table, f.key), t);  // edge (b)
+      }
     }
   }
 
@@ -142,6 +217,7 @@ recovery_stats spec_manager::recover(txn::batch& b,
           tab.index_row(u.key, u.rid);
           break;
         case txn::op_kind::read:
+        case txn::op_kind::scan:
           break;
       }
     }
@@ -202,6 +278,7 @@ recovery_stats spec_manager::recover(txn::batch& b,
           tab.index_row(u.key, u.rid);
           break;
         case txn::op_kind::read:
+        case txn::op_kind::scan:
           break;
       }
     }

@@ -32,7 +32,14 @@ constexpr std::uint32_t kCkptMagic = 0x504B4351u;  // "QCKP" little-endian
 // v2: rows are recorded per table *shard* (one section per per-partition
 // arena, see storage/table.hpp) so restore rebuilds each arena's rows —
 // and therefore its allocation counts and rid assignment — exactly.
-constexpr std::uint32_t kCkptVersion = 2;
+// v3: each table records its index backend kind; restore rejects a
+// mismatch (an ordered arena restored into a hash table would silently
+// lose its scan capability, and the recorded row order — the backend's
+// visit contract — would no longer describe the rebuilt index). Ordered
+// arenas serialize in ascending key order, and since skip-list structure
+// is a pure function of the key set (storage/ordered_index.hpp), restore
+// rebuilds the index bit-identically.
+constexpr std::uint32_t kCkptVersion = 3;
 
 /// Write `bytes` to `path` atomically: tmp file, fsync, rename, fsync dir.
 void atomic_write(const std::string& dir, const std::string& name,
@@ -93,6 +100,7 @@ checkpoint_meta checkpointer::take(const storage::database& db,
     for (char c : t.name()) out.push_back(static_cast<std::byte>(c));
     const std::size_t row_size = t.layout().row_size();
     put_u32(out, static_cast<std::uint32_t>(row_size));
+    out.push_back(static_cast<std::byte>(t.index()));  // v3: index backend
     put_u16(out, t.shard_count());
     for (part_id_t s = 0; s < t.shard_count(); ++s) {
       put_u64(out, t.live_rows_in(s));
@@ -203,10 +211,18 @@ checkpoint_meta restore_checkpoint(const std::string& path,
   for (std::uint32_t i = 0; i < tables; ++i) {
     const std::string name = r.str(r.u16());
     const std::uint32_t row_size = r.u32();
+    const auto index = static_cast<storage::index_kind>(r.u8());
     storage::table& t = db.by_name(name);
     if (t.layout().row_size() != row_size) {
       throw std::runtime_error("checkpoint: row size mismatch for table '" +
                                name + "'");
+    }
+    if (t.index() != index) {
+      throw std::runtime_error(
+          "checkpoint: index backend mismatch for table '" + name + "': " +
+          storage::index_kind_name(index) + " recorded, " +
+          storage::index_kind_name(t.index()) +
+          " loaded (index configuration changed?)");
     }
     const std::uint16_t shards = r.u16();
     if (shards != t.shard_count()) {

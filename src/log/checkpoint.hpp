@@ -18,17 +18,22 @@
 // recovery never sees a half-written state it would trust (a torn .tmp is
 // simply ignored; a torn renamed file fails its CRC).
 //
-// Checkpoint file format v2 (little-endian):
+// Checkpoint file format v3 (little-endian):
 //   u32 magic "QCKP" | u32 version | u32 batch_id | u64 stream_pos
 //   | u64 state_hash | u32 table_count
-//   per table: u16 name_len | name | u32 row_size | u16 shard_count
+//   per table: u16 name_len | name | u32 row_size | u8 index_kind
+//     | u16 shard_count
 //     per shard: u64 row_count
 //                | row_count * (u64 key | row_size payload bytes)
 //   trailing u32 crc32 over everything before it
 // Rows are recorded per per-partition arena (storage/table.hpp) so restore
 // rebuilds every arena's contents — and per-shard allocation counts —
 // exactly; a shard-count mismatch (partition config changed between run
-// and recovery) fails loudly.
+// and recovery) fails loudly, as does an index-backend mismatch (v3):
+// restoring an ordered table's snapshot into a hash table would silently
+// turn its range scans into empty results. Ordered arenas serialize in
+// ascending key order and the skip list's shape is a pure function of
+// the key set, so a restored arena is bit-identical to the original.
 #pragma once
 
 #include <cstdint>

@@ -28,6 +28,7 @@ void encode_batch(const txn::batch& b, std::vector<std::byte>& out) {
       put_u16(out, f.table);
       put_u16(out, f.part);
       put_u64(out, f.key);
+      put_u64(out, f.key_hi);  // v2: scan upper bound (0 for point kinds)
       put_u8(out, static_cast<std::uint8_t>(f.kind));
       put_u8(out, f.abortable ? 1 : 0);
       put_u16(out, f.idx);
@@ -66,8 +67,9 @@ txn::batch decode_batch(std::span<const std::byte> in,
       f.table = r.u16();
       f.part = r.u16();
       f.key = r.u64();
+      f.key_hi = r.u64();
       const std::uint8_t kind = r.u8();
-      if (kind > static_cast<std::uint8_t>(txn::op_kind::erase)) {
+      if (kind > static_cast<std::uint8_t>(txn::op_kind::scan)) {
         throw codec_error("plan_codec: bad op_kind");
       }
       f.kind = static_cast<txn::op_kind>(kind);

@@ -31,7 +31,9 @@
 namespace quecc::log {
 
 /// Bump when the wire format changes; decoders reject other versions.
-inline constexpr std::uint32_t kCodecVersion = 1;
+/// v2: fragments carry the scan upper bound `key_hi` and admit
+/// op_kind::scan.
+inline constexpr std::uint32_t kCodecVersion = 2;
 
 /// Thrown by every decoder on malformed, truncated, or unresolvable input.
 class codec_error : public std::runtime_error {

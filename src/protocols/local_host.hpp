@@ -73,6 +73,7 @@ class inplace_host final : public txn::frag_host {
           tab.index_row(it->key, it->rid);
           break;
         case txn::op_kind::read:
+        case txn::op_kind::scan:
           break;
       }
     }
@@ -127,6 +128,40 @@ class inplace_host final : public txn::frag_host {
     return true;
   }
 
+  /// Serial scan: a single-partition scan visits the home shard; a
+  /// kAllParts scan visits every shard in ascending shard order, each in
+  /// ascending key order. This matches the queue-oriented fan-out, whose
+  /// per-partition partials sum commutatively (the kAllParts contract —
+  /// u64-summable partials; table shard_count must equal the partition
+  /// count, which every sharded loader guarantees).
+  EXEC_PHASE bool scan_rows(const txn::fragment& f, txn::txn_desc&,
+                            scan_row_fn fn, void* ctx) override {
+    const auto& tab = db_.at(f.table);
+    struct tramp_ctx {
+      const storage::table* tab;
+      scan_row_fn fn;
+      void* ctx;
+      bool stopped = false;
+    } tc{&tab, fn, ctx};
+    const auto visit = [](void* raw, key_t k, storage::row_id_t rid) {
+      auto* c = static_cast<tramp_ctx*>(raw);
+      if (!c->fn(c->ctx, k, c->tab->row(rid))) {
+        c->stopped = true;
+        return false;
+      }
+      return true;
+    };
+    if (f.part != txn::kAllParts) {
+      return tab.visit_range_in(f.part, f.key, f.key_hi, visit, &tc);
+    }
+    bool supported = true;
+    for (part_id_t s = 0; s < tab.shard_count() && !tc.stopped; ++s) {
+      supported = tab.visit_range_in(s, f.key, f.key_hi, visit, &tc);
+      if (!supported) break;
+    }
+    return supported;
+  }
+
  private:
   storage::database& db_;
   std::vector<std::pair<table_id_t, storage::row_id_t>>* dirty_;
@@ -152,6 +187,7 @@ inline void unwind_journal(storage::database& db,
         tab.index_row(it->key, it->rid);
         break;
       case txn::op_kind::read:
+      case txn::op_kind::scan:
         break;
     }
   }

@@ -99,6 +99,7 @@ class silo_ctx final : public worker_ctx, public txn::frag_host {
           break;
         }
         case txn::op_kind::read:
+        case txn::op_kind::scan:
           break;
       }
     }

@@ -111,6 +111,7 @@ class tictoc_ctx final : public worker_ctx, public txn::frag_host {
           break;
         }
         case txn::op_kind::read:
+        case txn::op_kind::scan:
           break;
       }
     }

@@ -230,6 +230,7 @@ class twopl_ctx final : public worker_ctx, public txn::frag_host {
           tab.index_row(it->key, it->rid);
           break;
         case txn::op_kind::read:
+        case txn::op_kind::scan:
           break;
       }
     }

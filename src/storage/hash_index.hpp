@@ -34,40 +34,60 @@
 #include "common/spinlock.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
+#include "storage/index_backend.hpp"
 
 namespace quecc::storage {
 
-using row_id_t = std::uint64_t;
-inline constexpr row_id_t kNoRow = ~0ull;
-
-class hash_index {
+class hash_index final : public index_backend {
  public:
   /// `expected` sizes the bucket array (rounded up to a power of two).
   explicit hash_index(std::size_t expected);
-  ~hash_index();
-  hash_index(const hash_index&) = delete;
-  hash_index& operator=(const hash_index&) = delete;
+  ~hash_index() override;
+
+  index_kind kind() const noexcept override { return index_kind::hash; }
 
   /// Stripe-locked lookup; returns kNoRow when absent (including
   /// tombstoned keys). For callers without partition affinity.
-  row_id_t lookup(key_t key) const noexcept;
+  row_id_t lookup(key_t key) const noexcept override;
 
   /// Lock-free lookup (see header comment): safe concurrently with
   /// writers, takes no lock of any kind. The partition-local hot path.
   /// EXCLUDES is deliberately absent: holding a stripe is *allowed* (the
   /// locked lookup is just this plus a stripe), it is simply unnecessary.
-  row_id_t lookup_unlocked(key_t key) const noexcept;
+  row_id_t lookup_unlocked(key_t key) const noexcept override;
 
   /// Insert; returns false when the key already exists (live). Re-inserting
   /// a tombstoned key reclaims its slot.
-  bool insert(key_t key, row_id_t row);
+  bool insert(key_t key, row_id_t row) override;
 
   /// Remove; returns false when the key was absent. Tombstones in place.
-  bool erase(key_t key);
+  bool erase(key_t key) override;
 
   /// Live entries, O(1) from an atomic counter (see header comment).
-  std::size_t size() const noexcept {
+  std::size_t size() const noexcept override {
     return live_.load(std::memory_order_acquire);
+  }
+
+  /// Virtual visit (index_backend): publication order per bucket chain —
+  /// deterministic across indexes with the same insertion history, but
+  /// NOT key order.
+  void visit_live(visit_fn fn, void* ctx) const override {
+    for (const auto& b : buckets_) {
+      for (const node* n = &b.head; n != nullptr;
+           n = n->next.load(std::memory_order_acquire)) {
+        const std::uint32_t c = n->count.load(std::memory_order_acquire);
+        for (std::uint32_t i = 0; i < c; ++i) {
+          const row_id_t r = n->slots[i].row.load(std::memory_order_acquire);
+          if (r != kNoRow && !fn(ctx, n->slots[i].key, r)) return;
+        }
+      }
+    }
+  }
+
+  /// No ordered iteration in a hash table: reports unsupported.
+  bool visit_range(key_t /*lo*/, key_t /*hi*/, visit_fn /*fn*/,
+                   void* /*ctx*/) const override {
+    return false;
   }
 
   /// Visit every live (key, row) pair; not concurrent with writers. Used

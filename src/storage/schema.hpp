@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "storage/index_backend.hpp"
+
 namespace quecc::storage {
 
 /// Supported column types. `bytes` is a fixed-length opaque field (TPC-C
@@ -38,10 +40,20 @@ class schema {
   /// Index of a column by name; throws std::out_of_range when missing.
   std::size_t index_of(const std::string& name) const;
 
+  /// Primary-key index backend for tables created with this schema (hash
+  /// by default). The choice rides in the schema so `database::clone` and
+  /// the catalog carry it without widening any create_table signature.
+  schema& with_index(index_kind k) noexcept {
+    index_ = k;
+    return *this;
+  }
+  index_kind index() const noexcept { return index_; }
+
  private:
   std::vector<column> cols_;
   std::vector<std::size_t> offsets_;
   std::size_t row_size_ = 0;
+  index_kind index_ = index_kind::hash;
 };
 
 /// Typed accessors over a raw row buffer. These are free functions instead

@@ -34,7 +34,7 @@ table::table(table_id_t id, std::string name, schema s,
   shards_.reserve(shard_capacities.size());
   for (std::size_t cap : shard_capacities) {
     capacity_ += cap;
-    shards_.push_back(std::make_unique<shard>(cap, row_size_));
+    shards_.push_back(std::make_unique<shard>(cap, row_size_, schema_.index()));
   }
 }
 
@@ -46,7 +46,7 @@ std::size_t table::allocated_rows() const noexcept {
 
 std::size_t table::live_rows() const noexcept {
   std::size_t n = 0;
-  for (const auto& sh : shards_) n += sh->index.size();
+  for (const auto& sh : shards_) n += sh->index->size();
   return n;
 }
 

@@ -1,8 +1,9 @@
-// In-memory table: per-partition row arenas + primary-key hash-index
-// shards + per-row protocol metadata.
+// In-memory table: per-partition row arenas + primary-key index shards
+// (pluggable backend, see storage/index_backend.hpp) + per-row protocol
+// metadata.
 //
 // A table is split into `shard_count()` arenas, one per storage partition:
-// each shard owns its own row slab, row-meta array, and hash-index shard,
+// each shard owns its own row slab, row-meta array, and index shard,
 // so executors that the planner confined to disjoint partitions touch
 // disjoint cache lines and disjoint index memory — the storage-level
 // counterpart of the paradigm's "planning already decided who touches
@@ -31,12 +32,13 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/spinlock.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
-#include "storage/hash_index.hpp"
+#include "storage/index_backend.hpp"
 #include "storage/schema.hpp"
 
 namespace quecc::storage {
@@ -160,17 +162,21 @@ class table {
   // tables must pass the fragment's `part` (or `rid_shard(rid)` on
   // rollback paths).
 
+  /// Backend implementing the primary-key index of every shard (recorded
+  /// in the schema; see storage/index_backend.hpp).
+  index_kind index() const noexcept { return schema_.index(); }
+
   /// Stripe-locked lookup in `part`'s home shard. The baseline /
   /// no-affinity path.
   row_id_t lookup(key_t key, part_id_t part = 0) const noexcept {
-    return shards_[home_shard(part)]->index.lookup(key);
+    return shards_[home_shard(part)]->index->lookup(key);
   }
 
   /// Partition-local lookup: routes straight to the home shard and takes
   /// no index lock at all (safe against concurrent writers, see
-  /// hash_index.hpp). The planner-resolve / executor hot path.
+  /// index_backend.hpp). The planner-resolve / executor hot path.
   row_id_t lookup_local(key_t key, part_id_t part) const noexcept {
-    return shards_[home_shard(part)]->index.lookup_unlocked(key);
+    return shards_[home_shard(part)]->index->lookup_unlocked(key);
   }
 
   /// Allocate a fresh slot in `part`'s home shard (concurrent-safe)
@@ -192,34 +198,59 @@ class table {
   /// Index a previously allocated row under `key` (shard taken from the
   /// rid, which allocate_row encoded).
   bool index_row(key_t key, row_id_t rid) {
-    return shards_[rid_shard(rid)]->index.insert(key, rid);
+    return shards_[rid_shard(rid)]->index->insert(key, rid);
   }
 
   /// Unlink a key from `part`'s home shard (slot is retired, not reused).
   /// Returns false if absent. Rollback paths without a partition at hand
   /// pass `rid_shard(rid)` of the row they are unlinking.
   bool erase(key_t key, part_id_t part = 0) {
-    return shards_[home_shard(part)]->index.erase(key);
+    return shards_[home_shard(part)]->index->erase(key);
   }
 
   std::size_t live_rows() const noexcept;
   std::size_t live_rows_in(part_id_t s) const noexcept {
-    return shards_[s]->index.size();
+    return shards_[s]->index->size();
   }
 
   /// Visit all live (key, row id) pairs, shard-major. Not safe
-  /// concurrently with writes.
+  /// concurrently with writes. Within a shard the order is the backend's
+  /// visit contract (see for_each_live_in).
   template <typename Fn>
   void for_each_live(Fn&& fn) const {
-    for (const auto& sh : shards_) {
-      sh->index.for_each([&](key_t k, row_id_t rid) { fn(k, rid); });
+    for (part_id_t s = 0; s < shard_count(); ++s) {
+      for_each_live_in(s, fn);
     }
   }
 
   /// Visit shard `s`'s live pairs only (checkpointing, clone).
+  ///
+  /// ITERATION ORDER IS A CONTRACT — checkpoint writers serialize rows in
+  /// this order and restore replays the file order, so rid assignment
+  /// after recovery depends on it (PR 7 pinned the restore side; the take
+  /// side is pinned by tests/test_scan.cpp):
+  ///  * hash backend    — bucket-chain publication order: identical for
+  ///    two indexes with the same insertion history, unrelated to keys;
+  ///  * ordered backend — ascending key order, always.
   template <typename Fn>
   void for_each_live_in(part_id_t s, Fn&& fn) const {
-    shards_[s]->index.for_each([&](key_t k, row_id_t rid) { fn(k, rid); });
+    using fn_t = std::remove_reference_t<Fn>;
+    shards_[s]->index->visit_live(
+        [](void* ctx, key_t k, row_id_t rid) {
+          (*static_cast<fn_t*>(ctx))(k, rid);
+          return true;
+        },
+        &fn);
+  }
+
+  /// Range scan over `part`'s home shard: visit live pairs with
+  /// lo <= key < hi in ascending key order, lock-free against concurrent
+  /// writers. Returns false when the table's index backend has no ordered
+  /// iteration (hash) — scan fragments then see an empty result; workloads
+  /// that plan scans must create their tables with index_kind::ordered.
+  bool visit_range_in(part_id_t part, key_t lo, key_t hi,
+                      index_backend::visit_fn fn, void* ctx) const {
+    return shards_[home_shard(part)]->index->visit_range(lo, hi, fn, ctx);
   }
 
   /// Order-independent hash over live (key, payload) pairs; equal table
@@ -247,14 +278,14 @@ class table {
  private:
   /// One partition's arena: row slab + meta + index shard + allocator.
   struct shard {
-    shard(std::size_t cap, std::size_t row_size)
+    shard(std::size_t cap, std::size_t row_size, index_kind k)
         : slots(std::make_unique<std::byte[]>(row_size * cap)),
           meta(cap),
-          index(cap),
+          index(make_index(k, cap)),
           capacity(cap) {}
     std::unique_ptr<std::byte[]> slots;
     std::vector<row_meta> meta;
-    hash_index index;
+    std::unique_ptr<index_backend> index;
     std::atomic<std::uint64_t> next_row{0};
     common::spinlock free_lock;
     /// Recycled slot numbers. free_count is the lock-free "is it worth

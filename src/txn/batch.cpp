@@ -37,6 +37,16 @@ void validate_plan(const txn_desc& t) {
     if (f.abortable && f.updates_database()) {
       fail("abortable fragment updates the database");
     }
+    if (f.kind == op_kind::scan) {
+      // A cross-partition scan is fanned out into one queue entry per
+      // partition; an abortable scan would then decrement
+      // pending_abortables once per entry, breaking the commit-dependency
+      // counter, so scans must decide nothing.
+      if (f.abortable) fail("scan fragments must not be abortable");
+      if (f.key_hi <= f.key) fail("scan range [key, key_hi) is empty");
+    } else if (f.part == kAllParts) {
+      fail("kAllParts is reserved for scan fragments");
+    }
     // Conservative execution's commit-dependency wait is deadlock-free only
     // when every abort decision precedes every database update in fragment
     // order (DESIGN.md 2.2 / 2.3): "know your fate before you write".

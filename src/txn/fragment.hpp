@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 #include "common/types.hpp"
 #include "storage/hash_index.hpp"
@@ -30,7 +31,14 @@ enum class op_kind : std::uint8_t {
   update,  ///< read-modify-write in place
   insert,  ///< create the record (key known at plan time, see DESIGN.md)
   erase,   ///< unlink the record
+  scan,    ///< ordered range read over [key, key_hi) — see below
 };
+
+/// Home-partition sentinel for scan fragments whose key range spans every
+/// partition: the planner splits such a fragment into one per-partition
+/// queue entry (core/frag_queue.hpp), and its producing slot accumulates
+/// partials (txn_context::produce_partial). Point fragments never use it.
+inline constexpr part_id_t kAllParts = std::numeric_limits<part_id_t>::max();
 
 inline constexpr std::uint16_t kNoSlot = 0xffff;
 
@@ -60,8 +68,15 @@ struct fragment {
   std::uint16_t output_slot = kNoSlot;
   std::uint64_t input_mask = 0;  ///< slots that must be ready before running
   std::uint64_t aux = 0;         ///< immediate operand (value, qty, item#...)
+  key_t key_hi = 0;  ///< scan only: exclusive upper bound of [key, key_hi)
 
-  bool updates_database() const noexcept { return kind != op_kind::read; }
+  /// Kinds whose execution mutates table state. Scans are reads over a
+  /// range: they must NOT wait on commit dependencies, NOT count as
+  /// updates in plan validation, and NOT publish into the read-committed
+  /// store — everything keyed on this predicate.
+  bool updates_database() const noexcept {
+    return kind != op_kind::read && kind != op_kind::scan;
+  }
 };
 
 }  // namespace quecc::txn

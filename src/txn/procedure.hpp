@@ -42,6 +42,34 @@ class frag_host {
 
   /// Unlink the fragment's record; false when absent.
   virtual bool erase_row(const fragment& f, txn_desc& t) = 0;
+
+  /// Row visitor for scan fragments; return false to stop the scan early.
+  /// A function pointer + context keeps the scan path allocation-free.
+  using scan_row_fn = bool (*)(void* ctx, key_t key,
+                               std::span<const std::byte> row);
+
+  /// Ordered range read for scan fragments: visit the live rows of
+  /// [f.key, f.key_hi) in ascending key order. Which partitions are
+  /// visited is the host's business: the queue-oriented executor visits
+  /// the queue entry's (single) partition — a cross-partition scan was
+  /// already fanned out by the planner, its logic runs once per partition
+  /// and accumulates through txn_desc::produce_partial — while serial
+  /// hosts visit every partition of a kAllParts scan in one call. Returns
+  /// false when the fragment's table has no ordered index (the scan saw
+  /// nothing); scan-planning workloads must create such tables with
+  /// storage::index_kind::ordered.
+  ///
+  /// The default keeps hosts that never see scan fragments (contended
+  /// baselines) compiling; workloads only plan scans at engines whose
+  /// hosts override it.
+  virtual bool scan_rows(const fragment& f, txn_desc& t, scan_row_fn fn,
+                         void* ctx) {
+    (void)f;
+    (void)t;
+    (void)fn;
+    (void)ctx;
+    return false;
+  }
 };
 
 /// Fragment logic: executes fragment `f` of transaction `t` against `h`.

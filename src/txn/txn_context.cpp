@@ -30,6 +30,9 @@ void txn_desc::reset_runtime() {
   for (auto& s : slots_) {
     s.value.store(0, std::memory_order_relaxed);  // relaxed: see above
     s.ready.store(0, std::memory_order_relaxed);
+    // Disarm split-producer slots: serial re-execution (spec recovery,
+    // baselines) produces whole values, not per-partition partials.
+    s.parts.store(0, std::memory_order_relaxed);  // relaxed: see above
   }
   std::atomic_thread_fence(std::memory_order_release);
 }

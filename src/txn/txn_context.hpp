@@ -31,9 +31,17 @@ enum class txn_status : std::uint8_t {
 /// One data-dependency value slot. Producers store the value then set
 /// ready with release ordering; consumers acquire-load ready before the
 /// value, so the value read is always the produced one.
+///
+/// `parts` supports split producers (a cross-partition scan fragment the
+/// planner fanned out into one entry per partition): the planner arms the
+/// slot with the split count, each entry's logic contributes a partial via
+/// produce_partial, and the last contribution publishes ready. Unarmed
+/// slots (parts == 0, the overwhelmingly common case) behave exactly as
+/// before.
 struct value_slot {
   std::atomic<std::uint64_t> value{0};
   std::atomic<std::uint8_t> ready{0};
+  std::atomic<std::uint16_t> parts{0};  ///< outstanding split contributions
 };
 
 class txn_desc {
@@ -77,6 +85,35 @@ class txn_desc {
     // relaxed: the release store of ready below publishes the value.
     slots_[slot].value.store(v, std::memory_order_relaxed);
     slots_[slot].ready.store(1, std::memory_order_release);
+  }
+
+  /// Planner side: declare `slot` a split producer with `parts` partial
+  /// contributions (cross-partition scan fan-out). Runs before the batch's
+  /// execution phase starts; the stage hand-off publishes it.
+  void arm_slot(std::uint16_t slot, std::uint16_t parts) noexcept {
+    // relaxed: pre-execution, published by the plan->exec hand-off.
+    slots_[slot].parts.store(parts, std::memory_order_relaxed);
+  }
+
+  /// Producer side for possibly-split slots. Unarmed: plain produce (the
+  /// value may be any 64-bit pattern, e.g. a bit-cast double). Armed with
+  /// P parts: the P contributions are summed as u64 — split producers must
+  /// emit integer-summable partials — and the last one publishes ready.
+  void produce_partial(std::uint16_t slot, std::uint64_t v) noexcept {
+    auto& s = slots_[slot];
+    // acquire: pairs with the planner's hand-off publish; each of the P
+    // split entries decrements exactly once, so a nonzero load here can
+    // never be a stale zero race (unarmed slots are never decremented).
+    if (s.parts.load(std::memory_order_acquire) == 0) {
+      produce(slot, v);
+      return;
+    }
+    // relaxed: the final contributor's release store of ready publishes
+    // the accumulated value (the fetch_sub chain orders the additions).
+    s.value.fetch_add(v, std::memory_order_relaxed);
+    if (s.parts.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      s.ready.store(1, std::memory_order_release);
+    }
   }
 
   /// Consumer side: true when every slot in `mask` is ready.

@@ -109,8 +109,8 @@ constexpr std::uint16_t os_balance = 0, os_carrier = 1, os_line0 = 2,
                         os_slots = 2 + kMaxOrderLines;
 // Delivery: 0..14 line amounts.
 constexpr std::uint16_t dl_slots = kMaxOrderLines;
-// StockLevel: 0..14 quantities, aggregate count.
-constexpr std::uint16_t sl_count = 15, sl_slots = 16;
+// StockLevel: 0..14 quantities, aggregate count, scanned line count.
+constexpr std::uint16_t sl_count = 15, sl_lines = 16, sl_slots = 17;
 }  // namespace slot
 
 std::uint64_t d2b(double v) noexcept { return std::bit_cast<std::uint64_t>(v); }
@@ -154,6 +154,7 @@ enum os_logic : std::uint16_t {
   os_customer = 0,
   os_order,
   os_order_line,
+  os_line_scan,  ///< scan_profiles: one range scan over the order's lines
 };
 
 enum dl_logic : std::uint16_t {
@@ -166,6 +167,7 @@ enum dl_logic : std::uint16_t {
 enum sl_logic : std::uint16_t {
   sl_stock_read = 0,
   sl_aggregate,
+  sl_line_scan,  ///< scan_profiles: range scan over the last 20 orders' lines
 };
 
 // NewOrder args layout.
@@ -343,6 +345,25 @@ txn::frag_status run_order_status(const txn::fragment& f, txn::txn_desc& t,
                 row.empty() ? 0 : d2b(storage::read_f64(row, col::ol_amount)));
       return txn::frag_status::ok;
     }
+    case os_line_scan: {
+      // One ordered range scan over [ol 0, ol 16) of the order's key
+      // block. Single partition (the order's home warehouse), so every
+      // host visits the same lines in ascending key order and the double
+      // sum is bit-deterministic.
+      struct acc {
+        double sum = 0.0;
+      } a;
+      h.scan_rows(
+          f, t,
+          [](void* raw, key_t, std::span<const std::byte> row) {
+            static_cast<acc*>(raw)->sum +=
+                storage::read_f64(row, col::ol_amount);
+            return true;
+          },
+          &a);
+      t.produce(slot::os_line0, d2b(a.sum));
+      return txn::frag_status::ok;
+    }
   }
   return txn::frag_status::ok;
 }
@@ -426,6 +447,23 @@ txn::frag_status run_stock_level(const txn::fragment& f, txn::txn_desc& t,
       t.produce(slot::sl_count, below);
       return txn::frag_status::ok;
     }
+    case sl_line_scan: {
+      // Counts order lines across the recent-order window — the genuine
+      // range read the spec's "last 20 orders" join opens with. u64 count,
+      // single partition, ascending key order on every host.
+      struct acc {
+        std::uint64_t lines = 0;
+      } a;
+      h.scan_rows(
+          f, t,
+          [](void* raw, key_t, std::span<const std::byte>) {
+            ++static_cast<acc*>(raw)->lines;
+            return true;
+          },
+          &a);
+      t.produce(slot::sl_lines, a.lines);
+      return txn::frag_status::ok;
+    }
   }
   return txn::frag_status::ok;
 }
@@ -472,29 +510,41 @@ void tpcc::load(storage::database& db) {
   const std::uint64_t orders_per_warehouse =
       kDistrictsPerWarehouse * (n0 + cfg_.order_headroom_per_district);
 
-  auto& wh = db.create_table("warehouse", warehouse_schema(),
+  // Index selection rides in the schema (storage::schema::with_index):
+  // every table follows cfg_.index, and ORDER-LINE is forced onto the
+  // ordered backend when the scan profiles are on — its key packing
+  // (order block * 16 + line number) makes an order's lines, and a
+  // district's recent orders, contiguous key ranges.
+  const storage::index_kind idx = cfg_.index;
+  const storage::index_kind ol_idx =
+      cfg_.scan_profiles ? storage::index_kind::ordered : idx;
+
+  auto& wh = db.create_table("warehouse", warehouse_schema().with_index(idx),
                              by_warehouse(1));
-  auto& di = db.create_table("district", district_schema(),
+  auto& di = db.create_table("district", district_schema().with_index(idx),
                              by_warehouse(kDistrictsPerWarehouse));
-  auto& cu = db.create_table("customer", customer_schema(),
+  auto& cu = db.create_table("customer", customer_schema().with_index(idx),
                              by_warehouse(kDistrictsPerWarehouse *
                                           kCustomersPerDistrict));
   // HISTORY keys are a global insert counter, so the home partition (the
   // payment's warehouse) is not derivable from the key and the per-shard
   // share is workload-skew dependent: keep it a single arena.
-  auto& hi = db.create_table("history", history_schema(), order_cap * 2);
-  auto& no = db.create_table("new_order", new_order_schema(),
+  auto& hi = db.create_table("history", history_schema().with_index(idx),
+                             order_cap * 2);
+  auto& no = db.create_table("new_order", new_order_schema().with_index(idx),
                              by_warehouse(orders_per_warehouse));
-  auto& od = db.create_table("orders", orders_schema(),
+  auto& od = db.create_table("orders", orders_schema().with_index(idx),
                              by_warehouse(orders_per_warehouse));
-  auto& ol = db.create_table("order_line", order_line_schema(),
+  auto& ol = db.create_table("order_line",
+                             order_line_schema().with_index(ol_idx),
                              by_warehouse(orders_per_warehouse *
                                           kMaxOrderLines));
   // ITEM is read-only and replicated per partition: one shard that every
   // partition's (lock-free) lookups route to.
-  auto& it = db.create_table("item", item_schema(), kItems + 1);
+  auto& it = db.create_table("item", item_schema().with_index(idx),
+                             kItems + 1);
   it.set_replicated(true);
-  auto& st = db.create_table("stock", stock_schema(),
+  auto& st = db.create_table("stock", stock_schema().with_index(idx),
                              by_warehouse(kItems + 16));
 
   warehouse_ = wh.id();
@@ -853,6 +903,22 @@ std::unique_ptr<txn::txn_desc> tpcc::make_order_status(common::rng& r) {
     f.idx = idx++;
     t->frags.push_back(f);
   }
+  if (cfg_.scan_profiles) {
+    // One range scan over the order's whole line block [ol 0, ol 16)
+    // replaces the per-line point reads; the sum of OL_AMOUNT lands in
+    // the first line slot.
+    txn::fragment f;
+    f.table = order_line_;
+    f.key = order_line_key(w, d, o, 0);
+    f.key_hi = order_line_key(w, d, o, kMaxOrderLines + 1);
+    f.part = home;
+    f.kind = txn::op_kind::scan;
+    f.logic = os_line_scan;
+    f.output_slot = slot::os_line0;
+    f.idx = idx++;
+    t->frags.push_back(f);
+    return t;
+  }
   for (std::uint32_t l = 0; l < meta.ol_cnt; ++l) {
     txn::fragment f;
     f.table = order_line_;
@@ -963,6 +1029,23 @@ std::unique_ptr<txn::txn_desc> tpcc::make_stock_level(common::rng& r) {
     f.idx = idx++;
     t->frags.push_back(f);
     qty_mask |= 1ull << l;
+  }
+  if (cfg_.scan_profiles) {
+    // The spec's "last 20 orders" join opens with a range read: scan the
+    // order-line key range covering the district's 20 most recent orders
+    // (contiguous by key packing) and report the line count.
+    const std::uint64_t o_lo =
+        ds.next_o_id > 20 ? ds.next_o_id - 20 : 0;
+    txn::fragment f;
+    f.table = order_line_;
+    f.key = order_line_key(w, d, o_lo, 0);
+    f.key_hi = order_line_key(w, d, ds.next_o_id, 0);
+    f.part = home;
+    f.kind = txn::op_kind::scan;
+    f.logic = sl_line_scan;
+    f.output_slot = slot::sl_lines;
+    f.idx = idx++;
+    t->frags.push_back(f);
   }
   {
     txn::fragment f;

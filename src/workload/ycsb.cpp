@@ -59,6 +59,25 @@ txn::frag_status run_fragment(const txn::fragment& f, txn::txn_desc& t,
       (void)row;
       return f.aux != 0 ? txn::frag_status::abort : txn::frag_status::ok;
     }
+    case ycsb::op_scan_sum: {
+      // Sums FIELD0 over [key, key_hi). The partial is a u64 and addition
+      // commutes, so the kAllParts contract holds: the planner arms the
+      // output slot with the partition count and each per-partition
+      // invocation contributes through produce_partial; serial hosts visit
+      // every shard in one call and plain-produce the full sum.
+      struct acc {
+        std::uint64_t sum = 0;
+      } a;
+      h.scan_rows(
+          f, t,
+          [](void* raw, key_t, std::span<const std::byte> row) {
+            static_cast<acc*>(raw)->sum += storage::read_u64(row, 0);
+            return true;
+          },
+          &a);
+      t.produce_partial(f.output_slot, a.sum);
+      return txn::frag_status::ok;
+    }
   }
   return txn::frag_status::ok;
 }
@@ -73,8 +92,12 @@ ycsb::ycsb(ycsb_config cfg)
 
 void ycsb::load(storage::database& db) {
   // One arena per partition; key k's home partition is k % partitions, so
-  // the even capacity split covers every shard's key share.
-  auto& tab = db.create_table("usertable", make_schema(),
+  // the even capacity split covers every shard's key share. Scans need
+  // the ordered backend; otherwise the configured one applies.
+  const storage::index_kind idx = cfg_.scan_ratio > 0
+                                      ? storage::index_kind::ordered
+                                      : cfg_.index;
+  auto& tab = db.create_table("usertable", make_schema().with_index(idx),
                               cfg_.table_size + 16, cfg_.partitions);
   table_ = tab.id();
   std::vector<std::byte> row(tab.layout().row_size());
@@ -93,6 +116,25 @@ void ycsb::load(storage::database& db) {
 std::unique_ptr<txn::txn_desc> ycsb::make_txn(common::rng& r) {
   auto t = std::make_unique<txn::txn_desc>();
   t->proc = &proc_;
+
+  // --- YCSB-E style scan transaction --------------------------------------
+  if (cfg_.scan_ratio > 0 && r.next_bool(cfg_.scan_ratio)) {
+    const std::uint64_t len =
+        std::min<std::uint64_t>(cfg_.scan_len, cfg_.table_size);
+    const key_t lo =
+        std::min<key_t>(zipf_.next(r), cfg_.table_size - len);
+    txn::fragment f;
+    f.table = table_;
+    f.key = lo;
+    f.key_hi = lo + len;
+    f.part = txn::kAllParts;  // contiguous keys stripe across partitions
+    f.kind = txn::op_kind::scan;
+    f.logic = op_scan_sum;
+    f.output_slot = 0;
+    f.idx = 0;
+    t->frags.push_back(f);
+    return t;
+  }
 
   // --- choose distinct keys -----------------------------------------------
   const bool multi_part =

@@ -16,6 +16,7 @@
 
 #include "common/config.hpp"
 #include "common/zipf.hpp"
+#include "storage/index_backend.hpp"
 #include "txn/procedure.hpp"
 #include "workload/workload.hpp"
 
@@ -37,6 +38,16 @@ struct ycsb_config {
   bool dependent_ops = false;
   /// Fraction of transactions that deterministically abort mid-way.
   double abort_ratio = 0.0;
+  /// Fraction of transactions replaced by a YCSB-E style range scan: one
+  /// fragment summing FIELD0 over [lo, lo + scan_len). Contiguous keys
+  /// stripe across every partition (home = k % partitions), so scans plan
+  /// as kAllParts fan-out fragments whose per-partition partials sum
+  /// commutatively. Forces the ordered index backend.
+  double scan_ratio = 0.0;
+  std::uint32_t scan_len = 64;  ///< keys per scan
+  /// Index backend for the usertable (ordered is forced when
+  /// scan_ratio > 0; point-only runs hash identically under either).
+  storage::index_kind index = storage::index_kind::hash;
 };
 
 class ycsb final : public workload {
@@ -63,7 +74,8 @@ class ycsb final : public workload {
     op_write = 1,      ///< FIELD0 = aux
     op_rmw = 2,        ///< FIELD0 += aux -> output slot
     op_dep_write = 3,  ///< FIELD0 = input-slot value + aux -> output slot
-    op_abort_check = 4 ///< abortable read: aborts when aux != 0
+    op_abort_check = 4, ///< abortable read: aborts when aux != 0
+    op_scan_sum = 5    ///< sum FIELD0 over [key, key_hi) -> output slot
   };
 
  private:
